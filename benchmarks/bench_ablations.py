@@ -1,0 +1,207 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* k-efficiency spectrum — convergence time vs per-step cost for the
+  window-scanning coloring at k = 1 … Δ (the trade the paper's
+  Definition 4 makes measurable).
+* palette size — COLORING with Δ+1 vs larger palettes (redraw collisions
+  vs state size).
+* scheduler — the same protocol under every daemon family.
+* fault recovery — rounds to re-stabilize vs fraction of corrupted
+  processes (the operational payoff of self-stabilization).
+"""
+
+import random
+
+import pytest
+
+from repro import Simulator, random_connected
+from repro.analysis import compare_schedulers, run_convergence_study
+from repro.core.scheduler import (
+    BoundedFairScheduler,
+    CentralScheduler,
+    RandomSubsetScheduler,
+    RoundRobinScheduler,
+    SynchronousScheduler,
+)
+from repro.faults import corrupt_fraction, measure_recovery
+from repro.analysis import search_worst_case
+from repro.graphs import greedy_coloring
+from repro.protocols import (
+    ColoringProtocol,
+    MISProtocol,
+    WindowColoringProtocol,
+    WindowMISProtocol,
+)
+
+from conftest import print_table
+
+
+def test_k_efficiency_spectrum(benchmark):
+    """Convergence rounds and bits/step along k = 1..Δ."""
+    net = random_connected(24, 0.25, seed=7)
+    delta = net.max_degree
+    ks = sorted({1, 2, max(1, delta // 2), delta})
+
+    def sweep():
+        rows = []
+        for k in ks:
+            rounds = []
+            bits = 0.0
+            for seed in range(6):
+                proto = WindowColoringProtocol.for_network(net, k)
+                sim = Simulator(proto, net, seed=seed)
+                report = sim.run_until_silent(max_rounds=50_000)
+                rounds.append(report.rounds)
+                bits = max(bits, sim.metrics.max_bits_in_step)
+            rows.append([k, sum(rounds) / len(rounds), max(rounds),
+                         f"{bits:.2f}"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"ablation: k-efficiency spectrum (Δ = {delta}); "
+        "rounds shrink as k grows, bits/step grow",
+        ["k", "mean rounds", "max rounds", "max bits/step"],
+        rows,
+    )
+    # Shape check: the Δ-window never converges slower than the
+    # 1-window on average, and always reads more bits per step.
+    assert float(rows[-1][3]) >= float(rows[0][3])
+
+
+def test_palette_ablation(benchmark):
+    """Δ+1 vs wider palettes: extra colors reduce redraw collisions."""
+    net = random_connected(24, 0.25, seed=9)
+
+    def sweep():
+        rows = []
+        for extra in (0, 2, 6):
+            study = run_convergence_study(
+                lambda extra=extra: ColoringProtocol.for_network(net, extra_colors=extra),
+                net,
+                seeds=range(8),
+            )
+            rows.append([net.max_degree + 1 + extra, study.mean_rounds,
+                         study.max_rounds])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "ablation: palette size vs convergence rounds",
+        ["palette", "mean rounds", "max rounds"],
+        rows,
+    )
+
+
+def test_scheduler_ablation(benchmark):
+    """The same COLORING instance under every scheduler family."""
+    net = random_connected(20, 0.25, seed=11)
+
+    def sweep():
+        results = compare_schedulers(
+            lambda: ColoringProtocol.for_network(net),
+            net,
+            {
+                "synchronous": SynchronousScheduler,
+                "central": CentralScheduler,
+                "random-subset": lambda: RandomSubsetScheduler(0.5),
+                "round-robin": RoundRobinScheduler,
+                "bounded-fair": lambda: BoundedFairScheduler(bound=16),
+            },
+            seeds=range(6),
+        )
+        return [
+            [name, study.mean_rounds, study.max_rounds]
+            for name, study in sorted(results.items())
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "ablation: scheduler family vs rounds to silence (COLORING)",
+        ["scheduler", "mean rounds", "max rounds"],
+        rows,
+    )
+    assert all(row[2] < 10_000 for row in rows)
+
+
+def test_fault_recovery_scaling(benchmark):
+    """Rounds to recover vs corrupted fraction."""
+    net = random_connected(24, 0.25, seed=13)
+
+    def sweep():
+        rows = []
+        for fraction in (0.1, 0.3, 0.6, 1.0):
+            recoveries = []
+            for seed in range(5):
+                sim = Simulator(ColoringProtocol.for_network(net), net, seed=seed)
+                report = measure_recovery(
+                    sim,
+                    lambda s, r, f=fraction: corrupt_fraction(s, f, r),
+                    random.Random(seed * 71),
+                )
+                recoveries.append(report.rounds_to_recover)
+            rows.append([f"{fraction:.0%}", sum(recoveries) / len(recoveries),
+                         max(recoveries)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "ablation: corrupted fraction vs recovery rounds (COLORING)",
+        ["corrupted", "mean recovery", "max recovery"],
+        rows,
+    )
+
+
+def test_mis_window_spectrum(benchmark):
+    """Deterministic analogue of the k spectrum: window MIS."""
+    net = random_connected(20, 0.25, seed=17)
+    colors = greedy_coloring(net)
+    delta = net.max_degree
+    ks = sorted({1, 2, delta})
+
+    def sweep():
+        rows = []
+        for k in ks:
+            rounds = []
+            for seed in range(6):
+                sim = Simulator(WindowMISProtocol(net, colors, k), net, seed=seed)
+                rounds.append(sim.run_until_silent(max_rounds=50_000).rounds)
+            rows.append([k, sum(rounds) / len(rounds), max(rounds)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"ablation: MIS window width (Δ = {delta}) vs rounds to silence",
+        ["k", "mean rounds", "max rounds"],
+        rows,
+    )
+
+
+def test_adversarial_search_vs_bounds(benchmark):
+    """Hardest found instance vs the lemma bounds (bound slack probe)."""
+    from repro.analysis import matching_round_bound, mis_round_bound
+    from repro.protocols import MatchingProtocol
+
+    net = random_connected(14, 0.3, seed=19)
+    colors_ref = greedy_coloring(net)
+
+    def sweep():
+        mis = search_worst_case(
+            lambda n: MISProtocol(n, greedy_coloring(n)), net, trials=15, seed=3
+        )
+        matching = search_worst_case(
+            lambda n: MatchingProtocol(n, greedy_coloring(n)), net,
+            trials=15, seed=3,
+        )
+        return [
+            ["MIS", mis.worst_rounds, mis_round_bound(net, colors_ref)],
+            ["MATCHING", matching.worst_rounds, matching_round_bound(net)],
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "ablation: adversarial search (ports × starts × schedules) vs bounds",
+        ["protocol", "worst found rounds", "lemma bound"],
+        rows,
+    )
+    assert all(row[1] <= row[2] for row in rows)

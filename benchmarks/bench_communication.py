@@ -1,0 +1,102 @@
+"""E6 — Communication and space complexity (§3.2's worked examples).
+
+Claims reproduced: in the stabilized phase the 1-efficient protocols
+read one neighbor (log(Δ+1) bits for COLORING) per step while the
+Δ-efficient baselines read the whole neighborhood (Δ·log(Δ+1) bits);
+space complexity of COLORING is 2log(Δ+1)+log(δ.p).
+"""
+
+import pytest
+
+from repro import Simulator, random_connected
+from repro.analysis import (
+    coloring_communication_bits,
+    coloring_space_bits,
+    measured_space_bits,
+    traditional_coloring_communication_bits,
+)
+from repro.graphs import greedy_coloring
+from repro.protocols import (
+    ColoringProtocol,
+    FullReadColoring,
+    FullReadMIS,
+    FullReadMatching,
+    MISProtocol,
+    MatchingProtocol,
+)
+
+from conftest import print_table
+
+
+def stabilized_phase_cost(protocol, net, seed=9, extra_rounds=8):
+    """Bits and reads per step after silence."""
+    sim = Simulator(protocol, net, seed=seed)
+    sim.run_until_silent(max_rounds=100_000)
+    sim.metrics.max_bits_in_step = 0.0
+    sim.metrics.max_reads_in_step = 0
+    sim.run_rounds(extra_rounds)
+    return sim.metrics.max_reads_in_step, sim.metrics.max_bits_in_step
+
+
+def test_stabilized_phase_communication_table(benchmark):
+    net = random_connected(24, 0.2, seed=6)
+    colors = greedy_coloring(net)
+    delta = net.max_degree
+    pairs = [
+        ("coloring", ColoringProtocol.for_network(net),
+         FullReadColoring.for_network(net)),
+        ("MIS", MISProtocol(net, colors), FullReadMIS(net, colors)),
+        ("matching", MatchingProtocol(net, colors), FullReadMatching(net, colors)),
+    ]
+
+    def sweep():
+        rows = []
+        for problem, efficient, baseline in pairs:
+            r1, b1 = stabilized_phase_cost(efficient, net)
+            r2, b2 = stabilized_phase_cost(baseline, net)
+            rows.append([problem, r1, f"{b1:.2f}", r2, f"{b2:.2f}",
+                         f"{b2 / b1:.1f}x" if b1 else "-"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"E6  stabilized-phase cost per step (Δ = {net.max_degree}): "
+        "1-efficient vs Δ-efficient",
+        ["problem", "reads(1eff)", "bits(1eff)", "reads(Δeff)", "bits(Δeff)",
+         "ratio"],
+        rows,
+    )
+    # The paper's shape: 1 neighbor vs Δ neighbors, factor ≈ Δ in bits.
+    for row in rows:
+        assert row[1] == 1
+        assert row[3] == delta
+
+
+def test_coloring_bits_match_paper_formula(benchmark):
+    net = random_connected(24, 0.2, seed=6)
+    delta = net.max_degree
+
+    def measure():
+        return stabilized_phase_cost(ColoringProtocol.for_network(net), net)
+
+    _reads, bits = benchmark(measure)
+    assert bits == pytest.approx(coloring_communication_bits(delta))
+    assert traditional_coloring_communication_bits(delta) == pytest.approx(
+        delta * bits
+    )
+
+
+def test_coloring_space_formula(benchmark):
+    """Definition 6 worked example: 2log(Δ+1)+log(δ.p) bits per process."""
+    net = random_connected(24, 0.2, seed=6)
+    proto = ColoringProtocol.for_network(net)
+
+    def measure():
+        return measured_space_bits(proto, net)
+
+    report = benchmark(measure)
+    delta = net.max_degree
+    for p in net.processes:
+        assert report.per_process_bits[p] == pytest.approx(
+            coloring_space_bits(delta, net.degree(p))
+        )

@@ -1,0 +1,80 @@
+"""E7/E8 — The impossibility constructions (Theorems 1 and 2).
+
+Claims reproduced: for the 1-stable strawman protocols, the paper's
+splicing construction manufactures silent illegitimate configurations
+on the chain, the Δ²+1 gadget, and the rooted dag-oriented network —
+configurations from which the victim never recovers, while protocol
+COLORING escapes the identical trap.
+"""
+
+import pytest
+
+from repro.core import Configuration, Simulator
+from repro.impossibility import (
+    theorem1_gadget_demo,
+    theorem1_overlay_demo,
+    theorem1_splice_demo,
+    theorem2_demo,
+    theorem2_gadget_demo,
+)
+from repro.protocols import ColoringProtocol
+
+from conftest import print_table
+
+DEMOS = {
+    "thm1-overlay": theorem1_overlay_demo,
+    "thm1-splice": theorem1_splice_demo,
+    "thm1-gadget-d3": lambda: theorem1_gadget_demo(3),
+    "thm1-gadget-d4": lambda: theorem1_gadget_demo(4),
+    "thm2-fig3": theorem2_demo,
+    "thm2-gadget-d3": lambda: theorem2_gadget_demo(3),
+}
+
+
+@pytest.mark.parametrize("label", sorted(DEMOS), ids=sorted(DEMOS))
+def test_construction(benchmark, label):
+    def construct_and_verify():
+        demo = DEMOS[label]()
+        return demo, demo.verify(rounds=20, seed=2)
+
+    demo, report = benchmark(construct_and_verify)
+    assert report.demonstrates_impossibility
+
+
+def test_impossibility_table(benchmark):
+    def sweep():
+        rows = []
+        for label in sorted(DEMOS):
+            demo = DEMOS[label]()
+            report = demo.verify(rounds=20, seed=2)
+            rows.append(
+                [label, demo.network.n, str(demo.trap_edge), report.silent,
+                 report.legitimate, report.demonstrates_impossibility]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E7/E8  impossibility traps: silent + illegitimate + frozen",
+        ["construction", "n", "trap edge", "silent", "legitimate",
+         "demonstrates"],
+        rows,
+    )
+    assert all(r[-1] for r in rows)
+
+
+def test_coloring_escapes_trap(benchmark):
+    """The positive contrast: COLORING recovers from the same trap."""
+    demo = theorem1_overlay_demo()
+    protocol = ColoringProtocol(palette_size=3)
+    config = Configuration(
+        {p: {"C": demo.config.get(p, "C"), "cur": 1}
+         for p in demo.network.processes}
+    )
+
+    def escape():
+        sim = Simulator(protocol, demo.network, seed=13, config=config)
+        return sim.run_until_silent(max_rounds=20_000)
+
+    report = benchmark(escape)
+    assert report.stabilized

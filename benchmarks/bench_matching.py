@@ -1,0 +1,77 @@
+"""E3 — Protocol MATCHING (Fig. 10, Theorem 7, Lemma 9).
+
+Claims reproduced: MATCHING is 1-efficient, silent, converges within
+(Δ+1)·n+2 rounds, and silent configurations are maximal matchings of
+size at least ⌈m/(2Δ−1)⌉.
+"""
+
+import pytest
+
+from repro import Simulator, random_connected, ring
+from repro.analysis import matching_round_bound, min_maximal_matching_size
+from repro.graphs import greedy_coloring, grid, random_tree
+from repro.predicates import is_maximal_matching, matched_edges
+from repro.protocols import MatchingProtocol
+
+from conftest import print_table
+
+FAMILIES = {
+    "ring24": lambda: ring(24),
+    "grid5x5": lambda: grid(5, 5),
+    "tree30": lambda: random_tree(30, seed=2),
+    "gnp40": lambda: random_connected(40, 0.12, seed=5),
+}
+
+
+@pytest.mark.parametrize("label", sorted(FAMILIES), ids=sorted(FAMILIES))
+def test_matching_stabilization(benchmark, label):
+    net = FAMILIES[label]()
+    colors = greedy_coloring(net)
+
+    def pipeline():
+        proto = MatchingProtocol(net, colors)
+        sim = Simulator(proto, net, seed=11)
+        report = sim.run_until_silent(max_rounds=100_000)
+        return sim, report
+
+    sim, report = benchmark(pipeline)
+    assert report.stabilized
+    assert sim.metrics.observed_k_efficiency() == 1
+    edges = matched_edges(net, sim.config)
+    assert is_maximal_matching(net, edges)
+    assert len(edges) >= min_maximal_matching_size(net)
+    assert report.rounds <= matching_round_bound(net)
+
+
+def test_matching_round_bound_table(benchmark):
+    """Measured rounds vs Lemma 9's (Δ+1)n+2 across families and seeds."""
+
+    def sweep():
+        rows = []
+        for label in sorted(FAMILIES):
+            net = FAMILIES[label]()
+            colors = greedy_coloring(net)
+            bound = matching_round_bound(net)
+            worst = 0
+            sizes = []
+            for seed in range(8):
+                sim = Simulator(MatchingProtocol(net, colors), net, seed=seed)
+                report = sim.run_until_silent(max_rounds=100_000)
+                worst = max(worst, report.rounds)
+                sizes.append(len(matched_edges(net, sim.config)))
+            rows.append(
+                [label, net.n, net.max_degree, worst, bound, worst <= bound,
+                 min(sizes), min_maximal_matching_size(net)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E3  MATCHING: worst rounds vs Lemma 9 bound (Δ+1)n+2; matching "
+        "size vs Biedl bound ⌈m/(2Δ-1)⌉",
+        ["family", "n", "Δ", "max rounds", "bound", "within",
+         "min |M|", "⌈m/(2Δ-1)⌉"],
+        rows,
+    )
+    assert all(row[5] for row in rows)
+    assert all(row[6] >= row[7] for row in rows)

@@ -1,0 +1,80 @@
+"""Message-passing cost of the stabilized phase (the paper's motivation
+made concrete).
+
+The intro's complaint about classical self-stabilization: "information
+about every participant has to be repetitively sent to every other
+participant".  This bench prices the stabilized phase of each protocol
+under a pull-register implementation and compares 1-efficient vs
+Δ-efficient message rates, plus the push-with-heartbeat dual.
+"""
+
+import pytest
+
+from repro import random_connected
+from repro.graphs import greedy_coloring
+from repro.mp import PullEmulator, PushAccountant
+from repro.protocols import (
+    ColoringProtocol,
+    FullReadColoring,
+    FullReadMIS,
+    FullReadMatching,
+    MISProtocol,
+    MatchingProtocol,
+)
+
+from conftest import print_table
+
+
+def steady_state_rate(protocol, net, rounds=8, seed=4):
+    emu = PullEmulator(protocol, net, seed=seed)
+    emu.run_until_silent(max_rounds=100_000)
+    return emu.messages_per_round(rounds=rounds)
+
+
+def test_pull_message_rates(benchmark):
+    net = random_connected(20, 0.25, seed=6)
+    colors = greedy_coloring(net)
+    degree_sum = sum(net.degree(p) for p in net.processes)
+
+    def sweep():
+        rows = []
+        for problem, eff, base in (
+            ("coloring", ColoringProtocol.for_network(net),
+             FullReadColoring.for_network(net)),
+            ("MIS", MISProtocol(net, colors), FullReadMIS(net, colors)),
+            ("matching", MatchingProtocol(net, colors),
+             FullReadMatching(net, colors)),
+        ):
+            r_eff = steady_state_rate(eff, net)
+            r_base = steady_state_rate(base, net)
+            rows.append([problem, f"{r_eff:.0f}", f"{r_base:.0f}",
+                         f"{r_base / r_eff:.1f}x"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        f"pull-register messages per synchronous round, stabilized phase "
+        f"(n = {net.n}, Σδ = {degree_sum})",
+        ["problem", "1-efficient", "Δ-efficient", "ratio"],
+        rows,
+    )
+    # Shape: 1-efficient = 2n; Δ-efficient = 2·Σδ.
+    assert float(rows[0][1]) == pytest.approx(2 * net.n)
+    assert float(rows[0][2]) == pytest.approx(2 * degree_sum)
+
+
+def test_push_refresh_rate(benchmark):
+    """Push duals pay n·δ per refresh sweep regardless of activity."""
+    net = random_connected(20, 0.25, seed=6)
+    proto = ColoringProtocol.for_network(net)
+
+    def measure():
+        push = PushAccountant(proto, net, seed=4, refresh_period=5)
+        push.sim.run_until_silent(max_rounds=100_000)
+        push.stats.__init__()
+        push.run_rounds(10)
+        return push.stats.messages
+
+    messages = benchmark(measure)
+    degree_sum = sum(net.degree(p) for p in net.processes)
+    assert messages % degree_sum == 0

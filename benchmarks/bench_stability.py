@@ -1,0 +1,112 @@
+"""E4/E5 — ♦-(x,1)-stability (Theorems 6 and 8, Figures 9 and 11).
+
+Claims reproduced: after stabilization at least ⌊(L_max+1)/2⌋ MIS
+processes and 2⌈m/(2Δ−1)⌉ MATCHING processes read a single neighbor
+forever; the Figure 9 path and Figure 11 graph match their bounds.
+"""
+
+import pytest
+
+from repro import Simulator, chain, figure9_path, figure11_graph, ring
+from repro.analysis import (
+    matching_stability_bound,
+    measure_stability,
+    mis_stability_bound,
+)
+from repro.graphs import caterpillar, greedy_coloring, random_tree
+from repro.protocols import MISProtocol, MatchingProtocol
+
+from conftest import print_table
+
+MIS_CASES = {
+    "fig9-path7": lambda: figure9_path(7),
+    "chain16": lambda: chain(16),
+    "ring14": lambda: ring(14),
+    "caterpillar": lambda: caterpillar(6, 2),
+    "tree20": lambda: random_tree(20, seed=3),
+}
+
+MATCHING_CASES = {
+    "fig11": lambda: figure11_graph()[0],
+    "chain16": lambda: chain(16),
+    "ring14": lambda: ring(14),
+    "caterpillar": lambda: caterpillar(6, 2),
+}
+
+
+@pytest.mark.parametrize("label", sorted(MIS_CASES), ids=sorted(MIS_CASES))
+def test_mis_stability(benchmark, label):
+    net = MIS_CASES[label]()
+    colors = greedy_coloring(net)
+
+    def pipeline():
+        return measure_stability(
+            MISProtocol(net, colors), net, seed=4, suffix_rounds=30
+        )
+
+    m = benchmark(pipeline)
+    bound, _ = mis_stability_bound(net)
+    assert m.x >= bound
+
+
+@pytest.mark.parametrize("label", sorted(MATCHING_CASES), ids=sorted(MATCHING_CASES))
+def test_matching_stability(benchmark, label):
+    net = MATCHING_CASES[label]()
+    colors = greedy_coloring(net)
+
+    def pipeline():
+        return measure_stability(
+            MatchingProtocol(net, colors), net, seed=4, suffix_rounds=35
+        )
+
+    m = benchmark(pipeline)
+    assert m.x >= matching_stability_bound(net)
+
+
+def test_stability_tables(benchmark):
+    def sweep():
+        mis_rows = []
+        for label in sorted(MIS_CASES):
+            net = MIS_CASES[label]()
+            m = measure_stability(
+                MISProtocol(net, greedy_coloring(net)), net, seed=4,
+                suffix_rounds=30,
+            )
+            bound, exact = mis_stability_bound(net)
+            mis_rows.append([label, net.n, m.x, bound, exact, m.x >= bound])
+        match_rows = []
+        for label in sorted(MATCHING_CASES):
+            net = MATCHING_CASES[label]()
+            m = measure_stability(
+                MatchingProtocol(net, greedy_coloring(net)), net, seed=4,
+                suffix_rounds=35,
+            )
+            bound = matching_stability_bound(net)
+            match_rows.append([label, net.n, m.x, bound, m.x >= bound])
+        return mis_rows, match_rows
+
+    mis_rows, match_rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E4  MIS ♦-(x,1)-stability: measured x vs ⌊(L_max+1)/2⌋ (Thm 6)",
+        ["case", "n", "x measured", "bound", "L_max exact", "holds"],
+        mis_rows,
+    )
+    print_table(
+        "E5  MATCHING ♦-(x,1)-stability: measured x vs 2⌈m/(2Δ-1)⌉ (Thm 8)",
+        ["case", "n", "x measured", "bound", "holds"],
+        match_rows,
+    )
+    assert all(r[-1] for r in mis_rows)
+    assert all(r[-1] for r in match_rows)
+
+
+def test_figure11_exactly_matches_bound(benchmark):
+    """Figure 11's point: the Theorem 8 bound is tight — there is a
+    topology and a maximal matching achieving it with equality."""
+    net, matching = figure11_graph()
+
+    def check():
+        return matching_stability_bound(net), 2 * len(matching)
+
+    bound, achieved = benchmark(check)
+    assert bound == achieved == 4

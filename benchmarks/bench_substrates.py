@@ -1,0 +1,141 @@
+"""E9/E10/E11/E12 — substrates, convergence internals, transformer,
+and simulator scalability.
+
+* E9: Theorem 4 — color orientations are dags (checked across random
+  graphs) and COLORING's output is a valid identifier substrate.
+* E10: convergence internals — Lemma 1 closure, Lemma 8 monotonicity,
+  Lemma 7's pointer invariant, timed.
+* E11: the §6 transformer prototype stabilizes and stays 1-efficient.
+* E12: simulator throughput (steps/second) as n grows.
+"""
+
+import pytest
+
+from repro import Simulator, random_connected
+from repro.graphs import greedy_coloring, verify_theorem4
+from repro.predicates import coloring_predicate, married_processes
+from repro.protocols import (
+    ColoringProtocol,
+    MatchingProtocol,
+    colors_from_coloring_protocol,
+)
+from repro.transformer import coloring_spec, independence_spec, make_one_efficient
+
+from conftest import print_table
+
+
+# ----------------------------------------------------------------------
+# E9 — Theorem 4 substrate
+# ----------------------------------------------------------------------
+def test_theorem4_orientation(benchmark):
+    nets = [random_connected(30, 0.15, seed=s) for s in range(6)]
+
+    def check_all():
+        return all(verify_theorem4(net, greedy_coloring(net)) for net in nets)
+
+    assert benchmark(check_all)
+
+
+def test_coloring_protocol_as_substrate(benchmark):
+    net = random_connected(24, 0.18, seed=9)
+
+    def pipeline():
+        stage = colors_from_coloring_protocol(net, seed=3)
+        return verify_theorem4(net, stage.colors)
+
+    assert benchmark(pipeline)
+
+
+# ----------------------------------------------------------------------
+# E10 — convergence internals
+# ----------------------------------------------------------------------
+def test_lemma1_closure(benchmark):
+    net = random_connected(20, 0.2, seed=4)
+    proto = ColoringProtocol.for_network(net)
+
+    def run():
+        sim = Simulator(proto, net, seed=8)
+        sim.run_until_legitimate(max_rounds=50_000)
+        for _ in range(60):
+            sim.step()
+            if not coloring_predicate(net, sim.config):
+                return False
+        return True
+
+    assert benchmark(run)
+
+
+def test_lemma8_married_monotone(benchmark):
+    net = random_connected(20, 0.2, seed=4)
+    colors = greedy_coloring(net)
+
+    def run():
+        sim = Simulator(MatchingProtocol(net, colors), net, seed=8)
+        sim.run_rounds(1)
+        prev = married_processes(net, sim.config)
+        for _ in range(150):
+            sim.step()
+            now = married_processes(net, sim.config)
+            if not prev <= now:
+                return False
+            prev = now
+        return True
+
+    assert benchmark(run)
+
+
+def test_lemma7_pointer_invariant(benchmark):
+    net = random_connected(20, 0.2, seed=4)
+    colors = greedy_coloring(net)
+
+    def run():
+        sim = Simulator(MatchingProtocol(net, colors), net, seed=8)
+        sim.run_rounds(1)
+        for _ in range(120):
+            sim.step()
+            for p in net.processes:
+                if sim.config.get(p, "PR") not in (0, sim.config.get(p, "cur")):
+                    return False
+        return True
+
+    assert benchmark(run)
+
+
+# ----------------------------------------------------------------------
+# E11 — transformer prototype
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "spec_factory,label",
+    [
+        (lambda net: coloring_spec(net.max_degree + 1), "coloring"),
+        (lambda net: independence_spec(), "independence"),
+    ],
+    ids=["coloring", "independence"],
+)
+def test_transformer(benchmark, spec_factory, label):
+    net = random_connected(20, 0.2, seed=12)
+
+    def pipeline():
+        proto = make_one_efficient(spec_factory(net))
+        sim = Simulator(proto, net, seed=5)
+        report = sim.run_until_silent(max_rounds=50_000)
+        return report, sim.metrics.observed_k_efficiency()
+
+    report, keff = benchmark(pipeline)
+    assert report.stabilized
+    assert keff <= 1
+
+
+# ----------------------------------------------------------------------
+# E12 — simulator throughput
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [50, 100, 200], ids=["n50", "n100", "n200"])
+def test_simulator_throughput(benchmark, n):
+    net = random_connected(n, min(0.2, 6.0 / n), seed=n)
+    proto = ColoringProtocol.for_network(net)
+    sim = Simulator(proto, net, seed=1)
+
+    def fifty_steps():
+        sim.run_steps(50)
+
+    benchmark(fifty_steps)

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's claims (see DESIGN.md §3's
+per-experiment index) and asserts the paper-vs-measured *shape* — who
+wins, within which bound — while pytest-benchmark records the runtime
+of the reproduced pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Emit a paper-vs-measured table into the captured bench output."""
+    from repro.experiments import format_table
+
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+@pytest.fixture(scope="session")
+def report_lines():
+    """Accumulates human-readable result lines across benches."""
+    lines: list = []
+    yield lines
+    if lines:
+        print("\n=== paper-vs-measured summary ===")
+        for line in lines:
+            print(line)

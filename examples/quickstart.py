@@ -1,0 +1,43 @@
+"""Quickstart: self-stabilizing vertex coloring with one read per step.
+
+Runs protocol COLORING (paper Fig. 7) on an anonymous ring from a
+uniformly corrupted configuration, proves silence with the quiescence
+checker, and prints the communication metrics the paper introduces.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ColoringProtocol, Simulator, ring
+from repro.analysis import (
+    coloring_communication_bits,
+    traditional_coloring_communication_bits,
+)
+
+
+def main() -> None:
+    network = ring(12)
+    protocol = ColoringProtocol.for_network(network)  # palette {1..Δ+1}
+
+    sim = Simulator(protocol, network, seed=2026)
+    report = sim.run_until_silent(max_rounds=10_000)
+
+    print(f"network: ring of {network.n}, Δ = {network.max_degree}")
+    print(f"stabilized: {report.stabilized} after {report.rounds} rounds "
+          f"({report.steps} steps)")
+    print("final colors:",
+          [sim.config.get(p, 'C') for p in network.processes])
+
+    k = sim.metrics.observed_k_efficiency()
+    print(f"observed k-efficiency: {k}  (Definition 4 — the paper proves 1)")
+
+    delta = network.max_degree
+    print(f"bits read per step: {sim.metrics.max_bits_in_step:.2f} "
+          f"(paper formula log(Δ+1) = {coloring_communication_bits(delta):.2f}; "
+          f"a traditional protocol needs Δ·log(Δ+1) = "
+          f"{traditional_coloring_communication_bits(delta):.2f})")
+
+    assert report.stabilized and k == 1
+
+
+if __name__ == "__main__":
+    main()

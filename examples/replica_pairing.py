@@ -1,0 +1,70 @@
+"""Scenario: pairing storage replicas with self-stabilizing matching.
+
+A datacenter pairs storage nodes for mutual replication: a maximal
+matching of the connectivity graph.  Protocol MATCHING (paper Fig. 10)
+maintains the pairing through arbitrary state corruption while each
+node reads a single neighbor per step; the Δ-efficient baseline
+(Manne et al. style) solves the same problem reading every neighbor.
+
+The script runs both on the same topology and compares the paper's
+headline metric — bits read per step in the stabilized phase — plus
+Theorem 8's guarantee on how many nodes settle into watching only
+their partner.
+
+Run:  python examples/replica_pairing.py
+"""
+
+from repro import Simulator, random_regular
+from repro.analysis import matching_round_bound, matching_stability_bound
+from repro.graphs import greedy_coloring
+from repro.predicates import is_maximal_matching, matched_edges
+from repro.protocols import FullReadMatching, MatchingProtocol
+
+
+def stabilized_bits_per_step(protocol, network, seed):
+    """Run to silence, then measure the stabilized-phase read cost."""
+    sim = Simulator(protocol, network, seed=seed)
+    report = sim.run_until_silent(max_rounds=100_000)
+    sim.metrics.max_bits_in_step = 0.0
+    sim.metrics.max_reads_in_step = 0
+    sim.run_rounds(10)
+    return sim, report
+
+
+def main() -> None:
+    network = random_regular(20, 4, seed=8)
+    colors = greedy_coloring(network)
+    print(f"storage fabric: n = {network.n}, 4-regular, m = {network.m}")
+
+    sim1, rep1 = stabilized_bits_per_step(
+        MatchingProtocol(network, colors), network, seed=31
+    )
+    simb, repb = stabilized_bits_per_step(
+        FullReadMatching(network, colors), network, seed=31
+    )
+
+    pairs = matched_edges(network, sim1.config)
+    assert is_maximal_matching(network, pairs)
+    print(f"MATCHING paired {2 * len(pairs)}/{network.n} replicas in "
+          f"{rep1.rounds} rounds (Lemma 9 bound (Δ+1)n+2 = "
+          f"{matching_round_bound(network)})")
+
+    print("stabilized-phase cost per step:")
+    print(f"  MATCHING (1-efficient): {sim1.metrics.max_reads_in_step} "
+          f"neighbor, {sim1.metrics.max_bits_in_step:.2f} bits")
+    print(f"  baseline (Δ-efficient): {simb.metrics.max_reads_in_step} "
+          f"neighbors, {simb.metrics.max_bits_in_step:.2f} bits")
+
+    # Theorem 8: matched replicas watch only their partner.
+    sim = Simulator(MatchingProtocol(network, colors), network, seed=31)
+    sim.run_until_silent(max_rounds=100_000)
+    suffix = sim.measure_suffix_stability(extra_rounds=30)
+    settled = sum(1 for ports in suffix.values() if len(ports) <= 1)
+    bound = matching_stability_bound(network)
+    print(f"nodes watching a single partner forever: {settled}/{network.n} "
+          f"(Theorem 8 lower bound 2⌈m/(2Δ-1)⌉ = {bound})")
+    assert settled >= bound
+
+
+if __name__ == "__main__":
+    main()

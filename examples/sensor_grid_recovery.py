@@ -1,0 +1,65 @@
+"""Scenario: frequency assignment in a sensor grid, with fault injection.
+
+A 6×6 grid of anonymous radio sensors must hold a proper "frequency"
+(color) assignment so adjacent sensors never interfere.  Transient
+faults (power glitches, memory corruption) may scramble any subset of
+sensors at any time; self-stabilization means the grid re-converges
+without operator intervention — and protocol COLORING does it while
+every sensor polls just *one* neighbor per step.
+
+The script stabilizes the grid, injects three escalating faults
+(single sensor, a whole row, every sensor), and shows recovery after
+each, with the communication cost of the monitoring phase.
+
+Run:  python examples/sensor_grid_recovery.py
+"""
+
+import random
+
+from repro import ColoringProtocol, RandomSubsetScheduler, Simulator, grid
+from repro.predicates import conflict_count
+
+
+def inject_fault(sim, victims, rng) -> None:
+    """Corrupt the color (and pointer) of each victim arbitrarily."""
+    for p in victims:
+        sim.config.set(p, "C", rng.randint(1, len(sim.protocol.palette)))
+        sim.config.set(p, "cur", rng.randint(1, sim.network.degree(p)))
+
+
+def recover(sim, label: str) -> None:
+    before = conflict_count(sim.network, sim.config)
+    report = sim.run_until_silent(max_rounds=50_000)
+    print(f"{label}: {before} sensors in conflict -> recovered in "
+          f"{report.rounds} rounds (total so far), "
+          f"k-efficiency still {sim.metrics.observed_k_efficiency()}")
+
+
+def main() -> None:
+    rng = random.Random(7)
+    network = grid(6, 6)
+    protocol = ColoringProtocol.for_network(network)
+    sim = Simulator(
+        protocol, network, scheduler=RandomSubsetScheduler(0.6), seed=99
+    )
+
+    print(f"sensor grid 6x6: n = {network.n}, Δ = {network.max_degree}, "
+          f"palette = {len(protocol.palette)} frequencies")
+    recover(sim, "initial corruption (all sensors arbitrary)")
+
+    inject_fault(sim, [(2, 3)], rng)
+    recover(sim, "single-sensor glitch")
+
+    inject_fault(sim, [(4, c) for c in range(6)], rng)
+    recover(sim, "row power surge (6 sensors)")
+
+    inject_fault(sim, list(network.processes), rng)
+    recover(sim, "total blackout (36 sensors)")
+
+    assert sim.is_legitimate()
+    print("grid is interference-free; monitoring costs one neighbor "
+          "read per sensor per step, forever.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""repro — reproduction of *Communication Efficiency in Self-Stabilizing
+Silent Protocols* (Devismes, Masuzawa, Tixeuil; ICDCS 2009).
+
+Quickstart::
+
+    from repro import ColoringProtocol, Simulator, ring
+
+    net = ring(12)
+    sim = Simulator(ColoringProtocol.for_network(net), net, seed=1)
+    report = sim.run_until_silent()
+    assert report.stabilized
+    assert sim.metrics.observed_k_efficiency() == 1   # reads ≤1 neighbor/step
+"""
+
+from .core import (
+    BoundedFairScheduler,
+    CentralScheduler,
+    Configuration,
+    ConvergenceError,
+    GuardedAction,
+    Protocol,
+    RandomSubsetScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    Simulator,
+    StabilizationReport,
+    SynchronousScheduler,
+    is_silent,
+    make_scheduler,
+    silence_witness,
+)
+from .graphs import (
+    Network,
+    caterpillar,
+    chain,
+    clique,
+    figure9_path,
+    figure11_graph,
+    greedy_coloring,
+    grid,
+    hypercube,
+    network_from_edges,
+    random_connected,
+    random_regular,
+    random_tree,
+    ring,
+    star,
+    theorem1_chain,
+    theorem1_gadget,
+    theorem2_gadget,
+    theorem2_network,
+    torus,
+)
+from .predicates import (
+    coloring_predicate,
+    matched_edges,
+    matching_predicate,
+    mis_predicate,
+)
+from .protocols import (
+    ColoringProtocol,
+    FullReadColoring,
+    FullReadMIS,
+    FullReadMatching,
+    MISProtocol,
+    MatchingProtocol,
+    matching_over_coloring,
+    mis_over_coloring,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundedFairScheduler",
+    "CentralScheduler",
+    "ColoringProtocol",
+    "Configuration",
+    "ConvergenceError",
+    "FullReadColoring",
+    "FullReadMIS",
+    "FullReadMatching",
+    "GuardedAction",
+    "MISProtocol",
+    "MatchingProtocol",
+    "Network",
+    "Protocol",
+    "RandomSubsetScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "Simulator",
+    "StabilizationReport",
+    "SynchronousScheduler",
+    "__version__",
+    "caterpillar",
+    "chain",
+    "clique",
+    "coloring_predicate",
+    "figure11_graph",
+    "figure9_path",
+    "greedy_coloring",
+    "grid",
+    "hypercube",
+    "is_silent",
+    "make_scheduler",
+    "matched_edges",
+    "matching_over_coloring",
+    "matching_predicate",
+    "mis_over_coloring",
+    "mis_predicate",
+    "network_from_edges",
+    "random_connected",
+    "random_regular",
+    "random_tree",
+    "ring",
+    "silence_witness",
+    "star",
+    "theorem1_chain",
+    "theorem1_gadget",
+    "theorem2_gadget",
+    "theorem2_network",
+    "torus",
+]

@@ -1,0 +1,59 @@
+"""Bound calculators, space formulas and stability measurement."""
+
+from .adversarial import AdversarialResult, search_worst_case
+from .bounds import (
+    coloring_palette_size,
+    matching_round_bound,
+    matching_stability_bound,
+    max_dominators_on_longest_path,
+    min_maximal_matching_size,
+    mis_round_bound,
+    mis_stability_bound,
+)
+from .space import (
+    SpaceReport,
+    coloring_communication_bits,
+    coloring_local_bits,
+    coloring_space_bits,
+    coloring_space_report,
+    matching_communication_bits,
+    measured_space_bits,
+    mis_communication_bits,
+    traditional_coloring_communication_bits,
+    traditional_mis_communication_bits,
+)
+from .convergence import (
+    ConvergenceStudy,
+    compare_schedulers,
+    conflict_decay_timeline,
+    run_convergence_study,
+)
+from .stability import StabilityMeasurement, measure_stability
+
+__all__ = [
+    "AdversarialResult",
+    "ConvergenceStudy",
+    "SpaceReport",
+    "StabilityMeasurement",
+    "compare_schedulers",
+    "search_worst_case",
+    "conflict_decay_timeline",
+    "run_convergence_study",
+    "coloring_communication_bits",
+    "coloring_local_bits",
+    "coloring_palette_size",
+    "coloring_space_bits",
+    "coloring_space_report",
+    "matching_communication_bits",
+    "matching_round_bound",
+    "matching_stability_bound",
+    "max_dominators_on_longest_path",
+    "measure_stability",
+    "measured_space_bits",
+    "min_maximal_matching_size",
+    "mis_communication_bits",
+    "mis_round_bound",
+    "mis_stability_bound",
+    "traditional_coloring_communication_bits",
+    "traditional_mis_communication_bits",
+]

@@ -1,0 +1,62 @@
+"""Closed-form bounds from the paper.
+
+Every bench prints these next to the measured value, so the shape of
+each theorem's claim is checked mechanically:
+
+* Lemma 4  — MIS reaches silence within Δ·#C rounds.
+* Lemma 9  — MATCHING reaches silence within (Δ+1)·n + 2 rounds.
+* Theorem 6 — MIS is ♦-(⌊(L_max+1)/2⌋, 1)-stable.
+* Theorem 8 — MATCHING is ♦-(2·⌈m/(2Δ−1)⌉, 1)-stable, via Biedl et al.'s
+  ⌈m/(2Δ−1)⌉ lower bound on any maximal matching.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..graphs.coloring import Coloring, color_count
+from ..graphs.paths import mis_stability_lower_bound
+from ..graphs.topology import Network
+
+
+def coloring_palette_size(network: Network) -> int:
+    """Δ+1 — the minimal palette for arbitrary networks (§5.1)."""
+    return network.max_degree + 1
+
+
+def mis_round_bound(network: Network, colors: Coloring) -> int:
+    """Lemma 4: silence within Δ·#C rounds."""
+    return network.max_degree * color_count(colors)
+
+
+def matching_round_bound(network: Network) -> int:
+    """Lemma 9: silence within (Δ+1)·n + 2 rounds."""
+    return (network.max_degree + 1) * network.n + 2
+
+
+def min_maximal_matching_size(network: Network) -> int:
+    """Biedl et al. [6]: any maximal matching has ≥ ⌈m/(2Δ−1)⌉ edges."""
+    delta = network.max_degree
+    return math.ceil(network.m / (2 * delta - 1))
+
+
+def matching_stability_bound(network: Network) -> int:
+    """Theorem 8: at least 2·⌈m/(2Δ−1)⌉ eventually-1-stable processes."""
+    return 2 * min_maximal_matching_size(network)
+
+
+def mis_stability_bound(network: Network, **kwargs) -> Tuple[int, bool]:
+    """Theorem 6: at least ⌊(L_max+1)/2⌋ eventually-1-stable processes.
+
+    Returns ``(bound, exact)`` — ``exact`` is False when L_max came from
+    the heuristic (then the returned value is a valid but possibly
+    weaker bound).
+    """
+    return mis_stability_lower_bound(network, **kwargs)
+
+
+def max_dominators_on_longest_path(l_max: int) -> int:
+    """Theorem 6's counting step: a stabilized path of L_max edges holds
+    at most ⌈(L_max+1)/2⌉ Dominators."""
+    return math.ceil((l_max + 1) / 2)

@@ -1,0 +1,116 @@
+"""Empirical convergence statistics.
+
+Aggregates many seeded runs into the distributional picture one needs
+to compare protocols or schedulers fairly: mean/percentile rounds to
+silence, worst case, and the conflict-decay timeline Lemma 2's
+potential argument describes qualitatively.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.protocol import Protocol
+from ..core.scheduler import Scheduler
+from ..core.simulator import Simulator
+from ..graphs.topology import Network
+
+
+@dataclass
+class ConvergenceStudy:
+    """Rounds-to-silence distribution over many corrupted starts."""
+
+    protocol: str
+    n: int
+    rounds: List[int] = field(default_factory=list)
+    steps: List[int] = field(default_factory=list)
+
+    def percentile(self, q: float) -> float:
+        """Inclusive-interpolation percentile of rounds-to-silence."""
+        if not self.rounds:
+            raise ValueError("empty study")
+        data = sorted(self.rounds)
+        if len(data) == 1:
+            return float(data[0])
+        idx = (len(data) - 1) * q
+        lo, hi = math.floor(idx), math.ceil(idx)
+        if lo == hi:
+            return float(data[lo])
+        frac = idx - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    @property
+    def mean_rounds(self) -> float:
+        return statistics.fmean(self.rounds)
+
+    @property
+    def max_rounds(self) -> int:
+        return max(self.rounds)
+
+    @property
+    def median_rounds(self) -> float:
+        return statistics.median(self.rounds)
+
+
+def run_convergence_study(
+    protocol_factory: Callable[[], Protocol],
+    network: Network,
+    seeds: Sequence[int],
+    scheduler_factory: Optional[Callable[[], Scheduler]] = None,
+    max_rounds: int = 100_000,
+) -> ConvergenceStudy:
+    """One silent run per seed; fresh protocol/scheduler instances each."""
+    study = ConvergenceStudy(protocol_factory().name, network.n)
+    for seed in seeds:
+        scheduler = scheduler_factory() if scheduler_factory else None
+        sim = Simulator(protocol_factory(), network, scheduler=scheduler, seed=seed)
+        report = sim.run_until_silent(max_rounds=max_rounds)
+        study.rounds.append(report.rounds)
+        study.steps.append(report.steps)
+    return study
+
+
+def conflict_decay_timeline(
+    protocol: Protocol,
+    network: Network,
+    potential: Callable[[Network, object], int],
+    seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    max_rounds: int = 10_000,
+) -> List[int]:
+    """Per-round potential values until silence (e.g. Lemma 2's Conflit).
+
+    The returned series starts with the corrupted configuration's value
+    and ends at the first silent round; for COLORING it must end at 0.
+    """
+    sim = Simulator(protocol, network, scheduler=scheduler, seed=seed)
+    series = [potential(network, sim.config)]
+    rounds_done = 0
+    while rounds_done < max_rounds:
+        record = sim.step()
+        if record.closed_round:
+            rounds_done += 1
+            series.append(potential(network, sim.config))
+            if sim.is_silent():
+                break
+    return series
+
+
+def compare_schedulers(
+    protocol_factory: Callable[[], Protocol],
+    network: Network,
+    scheduler_factories: Dict[str, Callable[[], Scheduler]],
+    seeds: Sequence[int],
+    max_rounds: int = 100_000,
+) -> Dict[str, ConvergenceStudy]:
+    """The scheduler ablation: same protocol/network under each daemon."""
+    return {
+        name: run_convergence_study(
+            protocol_factory, network, seeds,
+            scheduler_factory=factory, max_rounds=max_rounds,
+        )
+        for name, factory in scheduler_factories.items()
+    }

@@ -1,0 +1,125 @@
+"""Space and communication complexity formulas (paper §3.2).
+
+Definition 5 measures, per process, the maximal amount of memory read
+from neighbors in a step; Definition 6 adds the local memory footprint.
+The paper's worked example: protocol COLORING reads one color per step
+(log(Δ+1) bits) against Δ·log(Δ+1) for a traditional full-scan coloring,
+and stores one color plus one pointer (2·log(Δ+1) + log(δ.p) total
+space).  These helpers compute the formulas so benches can print
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable
+
+from ..graphs.topology import Network
+
+ProcessId = Hashable
+
+
+def _log2(x: int) -> float:
+    return math.log2(x) if x > 1 else 0.0
+
+
+# ----------------------------------------------------------------------
+# COLORING (§3.2 examples)
+# ----------------------------------------------------------------------
+def coloring_communication_bits(delta: int) -> float:
+    """log(Δ+1) — one color read per step."""
+    return _log2(delta + 1)
+
+
+def traditional_coloring_communication_bits(delta: int) -> float:
+    """Δ·log(Δ+1) — a full neighborhood scan per step."""
+    return delta * _log2(delta + 1)
+
+
+def coloring_local_bits(delta: int, degree: int) -> float:
+    """log(Δ+1) for C plus log(δ.p) for cur."""
+    return _log2(delta + 1) + _log2(degree)
+
+
+def coloring_space_bits(delta: int, degree: int) -> float:
+    """Definition 6: 2·log(Δ+1) + log(δ.p)."""
+    return coloring_local_bits(delta, degree) + coloring_communication_bits(delta)
+
+
+# ----------------------------------------------------------------------
+# MIS
+# ----------------------------------------------------------------------
+def mis_communication_bits(color_domain_size: int) -> float:
+    """One S flag (1 bit) plus one color constant per step."""
+    return 1.0 + _log2(color_domain_size)
+
+
+def traditional_mis_communication_bits(delta: int, color_domain_size: int) -> float:
+    return delta * mis_communication_bits(color_domain_size)
+
+
+# ----------------------------------------------------------------------
+# MATCHING
+# ----------------------------------------------------------------------
+def matching_communication_bits(degree_of_neighbor: int, color_domain_size: int) -> float:
+    """One M bit, one PR pointer (log(δ.q+1)) and one color per step."""
+    return 1.0 + _log2(degree_of_neighbor + 1) + _log2(color_domain_size)
+
+
+# ----------------------------------------------------------------------
+# Whole-network summaries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpaceReport:
+    """Formula-level space accounting for one protocol on one network."""
+
+    protocol: str
+    per_process_bits: Dict[ProcessId, float]
+
+    @property
+    def max_bits(self) -> float:
+        return max(self.per_process_bits.values())
+
+    @property
+    def total_bits(self) -> float:
+        return sum(self.per_process_bits.values())
+
+
+def coloring_space_report(network: Network) -> SpaceReport:
+    delta = network.max_degree
+    return SpaceReport(
+        "COLORING",
+        {
+            p: coloring_space_bits(delta, network.degree(p))
+            for p in network.processes
+        },
+    )
+
+
+def measured_space_bits(protocol, network) -> SpaceReport:
+    """Space complexity straight from the declared variable domains —
+    the ground truth the formulas are checked against in tests."""
+    per_process: Dict[ProcessId, float] = {}
+    specs_of = protocol.specs_of(network)
+    for p in network.processes:
+        local = sum(
+            spec.domain.bits for spec in specs_of[p] if spec.kind != "const"
+        )
+        # Definition 6 adds the communication complexity: the widest
+        # single-neighbor read the protocol can perform.  For the
+        # 1-efficient protocols this is the full comm state of one
+        # neighbor (vars + constants).
+        neighbor_read = max(
+            (
+                sum(
+                    spec.domain.bits
+                    for spec in specs_of[q]
+                    if spec.readable_by_neighbors
+                )
+                for q in network.neighbors(p)
+            ),
+            default=0.0,
+        )
+        per_process[p] = local + neighbor_read
+    return SpaceReport(protocol.name, per_process)

@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro run coloring --topology ring --n 16
+    python -m repro run mis --topology gnp --n 30 --seed 4 --render
+    python -m repro stability matching --topology chain --n 12
+    python -m repro demo thm1-splice
+    python -m repro availability coloring --topology grid --n 25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .analysis import (
+    matching_round_bound,
+    matching_stability_bound,
+    measure_stability,
+    mis_round_bound,
+    mis_stability_bound,
+)
+from .core import Simulator, make_scheduler
+from .faults import availability_experiment
+from .graphs import (
+    Network,
+    chain,
+    clique,
+    greedy_coloring,
+    grid,
+    random_connected,
+    random_regular,
+    random_tree,
+    ring,
+    star,
+    torus,
+)
+from .impossibility import (
+    theorem1_gadget_demo,
+    theorem1_overlay_demo,
+    theorem1_splice_demo,
+    theorem2_demo,
+    theorem2_gadget_demo,
+)
+from .protocols import (
+    ColoringProtocol,
+    FullReadColoring,
+    FullReadMIS,
+    FullReadMatching,
+    MISProtocol,
+    MatchingProtocol,
+)
+from .viz import render_coloring, render_matching, render_mis
+
+DEMOS: Dict[str, Callable] = {
+    "thm1-overlay": theorem1_overlay_demo,
+    "thm1-splice": theorem1_splice_demo,
+    "thm1-gadget": lambda: theorem1_gadget_demo(3),
+    "thm2": theorem2_demo,
+    "thm2-gadget": lambda: theorem2_gadget_demo(3),
+}
+
+
+def build_topology(args) -> Network:
+    n = args.n
+    makers: Dict[str, Callable[[], Network]] = {
+        "chain": lambda: chain(n),
+        "ring": lambda: ring(n),
+        "star": lambda: star(max(1, n - 1)),
+        "clique": lambda: clique(n),
+        "grid": lambda: grid(*_near_square(n)),
+        "torus": lambda: torus(*_near_square(max(n, 9))),
+        "tree": lambda: random_tree(n, seed=args.seed),
+        "gnp": lambda: random_connected(n, args.p, seed=args.seed),
+        "regular": lambda: random_regular(n if n % 2 == 0 else n + 1, 3,
+                                          seed=args.seed),
+    }
+    try:
+        return makers[args.topology]()
+    except KeyError:
+        raise SystemExit(f"unknown topology {args.topology!r}; "
+                         f"known: {sorted(makers)}")
+
+
+def _near_square(n: int):
+    import math
+
+    rows = max(1, int(math.isqrt(n)))
+    cols = max(1, (n + rows - 1) // rows)
+    return rows, cols
+
+
+def build_protocol(name: str, network: Network):
+    colors = greedy_coloring(network)
+    makers = {
+        "coloring": lambda: ColoringProtocol.for_network(network),
+        "mis": lambda: MISProtocol(network, colors),
+        "matching": lambda: MatchingProtocol(network, colors),
+        "coloring-full": lambda: FullReadColoring.for_network(network),
+        "mis-full": lambda: FullReadMIS(network, colors),
+        "matching-full": lambda: FullReadMatching(network, colors),
+    }
+    try:
+        return makers[name]()
+    except KeyError:
+        raise SystemExit(f"unknown protocol {name!r}; known: {sorted(makers)}")
+
+
+def _render(protocol_name: str, network, config) -> str:
+    if protocol_name.startswith("coloring"):
+        return render_coloring(network, config)
+    if protocol_name.startswith("mis"):
+        return render_mis(network, config)
+    return render_matching(network, config)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_run(args) -> int:
+    network = build_topology(args)
+    protocol = build_protocol(args.protocol, network)
+    scheduler = make_scheduler(args.scheduler) if args.scheduler else None
+    sim = Simulator(protocol, network, scheduler=scheduler, seed=args.seed)
+    report = sim.run_until_silent(max_rounds=args.max_rounds)
+    print(f"{protocol.name} on {args.topology} "
+          f"(n={network.n}, m={network.m}, Δ={network.max_degree})")
+    print(f"  stabilized={report.stabilized} rounds={report.rounds} "
+          f"steps={report.steps}")
+    print(f"  k-efficiency={sim.metrics.observed_k_efficiency()} "
+          f"max-bits/step={sim.metrics.max_bits_in_step:.2f}")
+    if args.protocol == "mis":
+        print(f"  Lemma 4 round bound: "
+              f"{mis_round_bound(network, greedy_coloring(network))}")
+    if args.protocol == "matching":
+        print(f"  Lemma 9 round bound: {matching_round_bound(network)}")
+    if args.render:
+        print(_render(args.protocol, network, sim.config))
+    return 0
+
+
+def cmd_stability(args) -> int:
+    network = build_topology(args)
+    protocol = build_protocol(args.protocol, network)
+    m = measure_stability(protocol, network, seed=args.seed,
+                          suffix_rounds=args.suffix_rounds)
+    print(f"{protocol.name}: {m.x}/{network.n} processes are "
+          f"eventually-{m.k}-stable "
+          f"(silence after {m.rounds_to_silence} rounds)")
+    if args.protocol == "mis":
+        bound, exact = mis_stability_bound(network)
+        print(f"  Theorem 6 bound ⌊(L_max+1)/2⌋ = {bound}"
+              f"{'' if exact else ' (heuristic L_max)'}")
+    if args.protocol == "matching":
+        print(f"  Theorem 8 bound 2⌈m/(2Δ-1)⌉ = "
+              f"{matching_stability_bound(network)}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    try:
+        demo = DEMOS[args.name]()
+    except KeyError:
+        raise SystemExit(f"unknown demo {args.name!r}; known: {sorted(DEMOS)}")
+    report = demo.verify(rounds=args.rounds, seed=args.seed)
+    print(f"{demo.name}: trap edge {demo.trap_edge}")
+    print(f"  silent={report.silent} legitimate={report.legitimate} "
+          f"comm-changed={report.comm_changed}")
+    print(f"  demonstrates impossibility: "
+          f"{report.demonstrates_impossibility}")
+    return 0 if report.demonstrates_impossibility else 1
+
+
+def cmd_availability(args) -> int:
+    network = build_topology(args)
+    protocol = build_protocol(args.protocol, network)
+    report = availability_experiment(
+        protocol,
+        network,
+        fault_period_rounds=args.fault_period,
+        fault_fraction=args.fault_fraction,
+        total_rounds=args.total_rounds,
+        seed=args.seed,
+    )
+    print(f"{protocol.name}: {report.faults_injected} faults over "
+          f"{args.total_rounds} rounds")
+    print(f"  availability: {report.availability:.1%} "
+          f"(mean recovery {report.mean_recovery_rounds:.1f} rounds)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-stabilizing silent protocols "
+                    "(Devismes-Masuzawa-Tixeuil, ICDCS 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("protocol", help="coloring | mis | matching | *-full")
+        p.add_argument("--topology", default="ring")
+        p.add_argument("--n", type=int, default=12)
+        p.add_argument("--p", type=float, default=0.25,
+                       help="edge probability for gnp")
+        p.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="run a protocol to silence")
+    add_common(run)
+    run.add_argument("--scheduler", default=None,
+                     help="synchronous | central | random-subset | "
+                          "round-robin | bounded-fair")
+    run.add_argument("--max-rounds", type=int, default=100_000)
+    run.add_argument("--render", action="store_true")
+    run.set_defaults(fn=cmd_run)
+
+    stab = sub.add_parser("stability", help="measure ♦-(x,1)-stability")
+    add_common(stab)
+    stab.add_argument("--suffix-rounds", type=int, default=30)
+    stab.set_defaults(fn=cmd_stability)
+
+    demo = sub.add_parser("demo", help="run an impossibility demonstration")
+    demo.add_argument("name", help=" | ".join(sorted(DEMOS)))
+    demo.add_argument("--rounds", type=int, default=25)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(fn=cmd_demo)
+
+    avail = sub.add_parser("availability",
+                           help="periodic faults, measure availability")
+    add_common(avail)
+    avail.add_argument("--fault-period", type=int, default=20)
+    avail.add_argument("--fault-fraction", type=float, default=0.2)
+    avail.add_argument("--total-rounds", type=int, default=150)
+    avail.set_defaults(fn=cmd_availability)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Computational model of the paper (Section 2).
+
+Locally shared memory, prioritised guarded actions, distributed fair
+schedulers, Dolev-Israeli-Moran rounds, tracked neighbor reads, and a
+sound silence (communication fixed point) checker.
+"""
+
+from .actions import GuardedAction, first_enabled
+from .context import StepContext
+from .exceptions import (
+    ConvergenceError,
+    DomainError,
+    IllegalRead,
+    IllegalWrite,
+    ModelError,
+    ReproError,
+    TopologyError,
+)
+from .metrics import MetricsCollector, StepRecord
+from .protocol import Protocol
+from .rounds import RoundTracker
+from .scheduler import (
+    BoundedFairScheduler,
+    CentralScheduler,
+    FixedSequenceScheduler,
+    RandomSubsetScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SynchronousScheduler,
+    make_scheduler,
+)
+from .silence import QuiescenceWitness, is_silent, silence_witness
+from .simulator import Simulator, StabilizationReport
+from .state import Configuration
+from .trace import Trace, TraceEvent, TraceRecorder, record_run, verify_replay
+from .variables import (
+    BOOL,
+    Domain,
+    FiniteSet,
+    IntRange,
+    VariableSpec,
+    comm,
+    const,
+    internal,
+)
+
+__all__ = [
+    "BOOL",
+    "BoundedFairScheduler",
+    "CentralScheduler",
+    "Configuration",
+    "ConvergenceError",
+    "Domain",
+    "DomainError",
+    "FiniteSet",
+    "FixedSequenceScheduler",
+    "GuardedAction",
+    "IllegalRead",
+    "IllegalWrite",
+    "IntRange",
+    "MetricsCollector",
+    "ModelError",
+    "Protocol",
+    "QuiescenceWitness",
+    "RandomSubsetScheduler",
+    "ReproError",
+    "RoundRobinScheduler",
+    "RoundTracker",
+    "Scheduler",
+    "Simulator",
+    "StabilizationReport",
+    "StepContext",
+    "StepRecord",
+    "SynchronousScheduler",
+    "Trace",
+    "TraceEvent",
+    "TraceRecorder",
+    "TopologyError",
+    "VariableSpec",
+    "comm",
+    "const",
+    "first_enabled",
+    "internal",
+    "is_silent",
+    "make_scheduler",
+    "record_run",
+    "verify_replay",
+    "silence_witness",
+]

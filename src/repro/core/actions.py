@@ -1,0 +1,60 @@
+"""Guarded actions.
+
+A local algorithm (paper §2) is a finite list of guarded actions
+``⟨guard⟩ → ⟨action⟩``.  Guards are Boolean predicates over the process's
+own variables and its neighbors' *communication* variables; actions
+assign new values to the process's own variables.  The paper assumes a
+priority order induced by the order of appearance in the code (earlier
+actions have higher priority); we preserve that by keeping actions in a
+tuple and always executing the first enabled one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import StepContext
+
+
+@dataclass(frozen=True)
+class GuardedAction:
+    """One ``⟨guard⟩ → ⟨action⟩`` rule.
+
+    Attributes
+    ----------
+    name:
+        Human-readable rule name used in traces and tests.
+    guard:
+        Predicate evaluated against a :class:`StepContext`; any neighbor
+        communication variables it touches are recorded as reads.
+    effect:
+        Statement list executed when the guard holds; writes go through
+        the context (own variables only).
+    """
+
+    name: str
+    guard: Callable[["StepContext"], bool]
+    effect: Callable[["StepContext"], None]
+
+    def is_enabled(self, ctx: "StepContext") -> bool:
+        return bool(self.guard(ctx))
+
+
+def first_enabled(
+    actions: Sequence[GuardedAction], ctx: "StepContext"
+) -> Optional[GuardedAction]:
+    """The highest-priority enabled action, or ``None`` if disabled.
+
+    Guard evaluations accumulate neighbor reads into ``ctx`` exactly as
+    a real execution would: deciding which rule fires is itself
+    communication, and the paper's k-efficiency measure charges for it.
+    """
+    for action in actions:
+        if action.is_enabled(ctx):
+            return action
+    return None
+
+
+Actions = Tuple[GuardedAction, ...]

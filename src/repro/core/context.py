@@ -1,0 +1,169 @@
+"""Step execution context with tracked neighbor reads.
+
+Every communication-efficiency measure in the paper boils down to *which
+neighbors a process reads in a step* (Definitions 4, 5, 7–9).  Rather
+than trusting a protocol's self-description, the simulator routes every
+neighbor access through :class:`StepContext.read`, which
+
+* enforces the locally shared memory rules (only neighbors, only their
+  communication variables / constants),
+* records the set of ports read during the step (guards *and* effect),
+* accounts the information read in bits, per Definition 5.
+
+The context also buffers writes so the simulator can apply the paper's
+step semantics: all selected processes read from ``γi`` and their writes
+land simultaneously in ``γi+1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Set, Tuple
+
+from .exceptions import DomainError, IllegalRead, IllegalWrite
+from .state import Configuration
+from .variables import VariableSpec
+
+ProcessId = Hashable
+
+
+class StepContext:
+    """Execution context of one process within one step.
+
+    Parameters
+    ----------
+    pid:
+        The executing process.
+    network:
+        The :class:`~repro.graphs.topology.Network`.
+    config:
+        The frozen pre-step configuration ``γi`` all reads resolve in.
+    specs_of:
+        ``pid -> tuple(VariableSpec)`` for every process (owned by the
+        simulator, shared between contexts).
+    rng:
+        Source of randomness for probabilistic actions; ``None`` for
+        protocols that must stay deterministic (any use then raises).
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        network,
+        config: Configuration,
+        specs_of: Dict[ProcessId, Tuple[VariableSpec, ...]],
+        rng=None,
+    ):
+        self.pid = pid
+        self.network = network
+        self._config = config
+        self._specs_of = specs_of
+        self._own_specs = {s.name: s for s in specs_of[pid]}
+        self._rng = rng
+
+        #: ports whose neighbor was read during this step (guards + effect)
+        self.ports_read: Set[int] = set()
+        #: distinct (port, variable) registers read during this step
+        self.registers_read: Set[Tuple[int, str]] = set()
+        #: total bits of neighbor information read during this step
+        #: (Definition 5 counts memory, so re-reading a register is free)
+        self.bits_read: float = 0.0
+        #: buffered writes ``name -> value`` (applied by the simulator)
+        self.writes: Dict[str, Any] = {}
+        #: True once the rng was consulted (used by the silence checker)
+        self.used_randomness: bool = False
+
+    # ------------------------------------------------------------------
+    # Own state
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """δ.p of the executing process."""
+        return self.network.degree(self.pid)
+
+    def get(self, name: str) -> Any:
+        """Read one of the process's own variables.
+
+        Sees this step's pending writes, so statement sequences inside an
+        action observe their own earlier assignments.
+        """
+        if name in self.writes:
+            return self.writes[name]
+        return self._config.get(self.pid, name)
+
+    def set(self, name: str, value: Any) -> None:
+        """Assign one of the process's own (writable) variables."""
+        spec = self._own_specs.get(name)
+        if spec is None:
+            raise IllegalWrite(f"{self.pid!r} has no variable {name!r}")
+        if not spec.writable:
+            raise IllegalWrite(f"{name}.{self.pid!r} is a constant")
+        if value not in spec.domain:
+            raise DomainError(
+                f"value {value!r} outside domain of {name}.{self.pid!r}"
+            )
+        self.writes[name] = value
+
+    # ------------------------------------------------------------------
+    # Neighbor reads (the tracked operation)
+    # ------------------------------------------------------------------
+    def read(self, port: int, name: str) -> Any:
+        """Read communication variable ``name`` of the neighbor at ``port``.
+
+        Ports are the paper's local indices ``1 .. δ.p``.  Reading a
+        communication *constant* (like the color ``C.q``) is tracked the
+        same way — the paper charges those reads too when it argues MIS
+        and MATCHING are 1-efficient.
+        """
+        q = self.network.neighbor_at(self.pid, port)
+        spec = next(
+            (s for s in self._specs_of[q] if s.name == name), None
+        )
+        if spec is None:
+            raise IllegalRead(f"neighbor {q!r} has no variable {name!r}")
+        if not spec.readable_by_neighbors:
+            raise IllegalRead(
+                f"{name}.{q!r} is internal and may not be read by {self.pid!r}"
+            )
+        self.ports_read.add(port)
+        if (port, name) not in self.registers_read:
+            self.registers_read.add((port, name))
+            self.bits_read += spec.domain.bits
+        return self._config.get(q, name)
+
+    def cur_port(self, pointer: str = "cur") -> int:
+        """Convenience: the current value of a round-robin port pointer."""
+        return self.get(pointer)
+
+    def advance(self, pointer: str = "cur") -> None:
+        """The paper's idiom ``cur.p ← (cur.p mod δ.p) + 1``."""
+        self.set(pointer, (self.get(pointer) % self.degree) + 1)
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def random_choice(self, domain) -> Any:
+        """Draw uniformly from a :class:`Domain` (``random({1..Δ+1})``)."""
+        if self._rng is None:
+            raise IllegalWrite(
+                "protocol attempted a random choice under a deterministic run"
+            )
+        self.used_randomness = True
+        return domain.sample(self._rng)
+
+    def random_int(self, lo: int, hi: int) -> int:
+        """Draw a uniform integer in ``[lo, hi]``."""
+        if self._rng is None:
+            raise IllegalWrite(
+                "protocol attempted a random choice under a deterministic run"
+            )
+        self.used_randomness = True
+        return self._rng.randint(lo, hi)
+
+    # ------------------------------------------------------------------
+    def comm_writes(self) -> Dict[str, Any]:
+        """The subset of buffered writes that target communication variables."""
+        return {
+            name: value
+            for name, value in self.writes.items()
+            if self._own_specs[name].kind == "comm"
+        }

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ModelError(ReproError):
+    """Violation of the computational model (bad read/write, bad domain)."""
+
+
+class IllegalRead(ModelError):
+    """A process attempted to read a variable it may not access.
+
+    Raised when a process reads an *internal* variable of a neighbor, or
+    reads a variable of a non-neighbor: the locally shared memory model
+    only allows reading neighbors' communication variables.
+    """
+
+
+class IllegalWrite(ModelError):
+    """A process attempted to write a constant or a neighbor's variable."""
+
+
+class DomainError(ModelError):
+    """A value outside a variable's declared domain was assigned."""
+
+
+class ConvergenceError(ReproError):
+    """A simulation failed to reach the expected configuration in budget."""
+
+
+class TopologyError(ReproError):
+    """A graph does not satisfy a structural requirement."""

@@ -1,0 +1,121 @@
+"""Communication metrics.
+
+Implements the measurable side of the paper's Section 3:
+
+* **k-efficiency** (Def. 4) — the largest number of distinct neighbors
+  any process reads in any single step.
+* **Communication complexity** (Def. 5) — the most bits a process reads
+  from neighbors in a step.
+* **R_p(C) and stability** (Defs. 7–9) — the accumulated set of
+  neighbors a process reads over a (suffix of a) computation; a protocol
+  observed with ``R_p ≤ k`` for x processes over a suffix is evidence of
+  ♦-(x, k)-stability.
+
+The collector is fed one :class:`StepRecord` per step by the simulator
+and can be "re-armed" (``start_suffix``) at the silence point so the
+suffix read-sets measure the stabilized phase exactly as the paper's
+♦-notions require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set
+
+ProcessId = Hashable
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """What happened in one step, as far as communication is concerned."""
+
+    index: int
+    activated: FrozenSet[ProcessId]
+    #: rule name fired per activated process (None = was disabled)
+    executed: Dict[ProcessId, Optional[str]]
+    #: distinct neighbor ports read per activated process
+    ports_read: Dict[ProcessId, FrozenSet[int]]
+    #: bits of neighbor information read per activated process
+    bits_read: Dict[ProcessId, float]
+    closed_round: bool
+
+
+class MetricsCollector:
+    """Aggregates step records into the paper's communication measures."""
+
+    def __init__(self, processes: List[ProcessId]):
+        self._processes = list(processes)
+        self.steps = 0
+        self.rounds = 0
+        #: worst per-step neighbor-read count seen so far (observed k-efficiency)
+        self.max_reads_in_step = 0
+        #: worst per-step bits read by a single process (Def. 5, observed)
+        self.max_bits_in_step = 0.0
+        self.total_bits = 0.0
+        self.total_reads = 0
+        #: activation counts per process
+        self.activations: Dict[ProcessId, int] = {p: 0 for p in self._processes}
+        #: accumulated neighbor-read sets over the whole run
+        self.read_sets: Dict[ProcessId, Set[int]] = {p: set() for p in self._processes}
+        #: accumulated neighbor-read sets since :meth:`start_suffix`
+        self.suffix_read_sets: Optional[Dict[ProcessId, Set[int]]] = None
+        self.suffix_start_step: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def record(self, record: StepRecord) -> None:
+        self.steps += 1
+        if record.closed_round:
+            self.rounds += 1
+        for p in record.activated:
+            self.activations[p] += 1
+        for p, ports in record.ports_read.items():
+            count = len(ports)
+            if count > self.max_reads_in_step:
+                self.max_reads_in_step = count
+            self.total_reads += count
+            self.read_sets[p].update(ports)
+            if self.suffix_read_sets is not None:
+                self.suffix_read_sets[p].update(ports)
+        for p, bits in record.bits_read.items():
+            if bits > self.max_bits_in_step:
+                self.max_bits_in_step = bits
+            self.total_bits += bits
+
+    # ------------------------------------------------------------------
+    # Stability measurement
+    # ------------------------------------------------------------------
+    def start_suffix(self) -> None:
+        """Begin accumulating the suffix read-sets (call at silence)."""
+        self.suffix_read_sets = {p: set() for p in self._processes}
+        self.suffix_start_step = self.steps
+
+    def suffix_stable_processes(self, k: int = 1) -> List[ProcessId]:
+        """Processes whose suffix read-set has size ≤ k.
+
+        With the suffix armed at the silence point, the length of this
+        list is the measured ``x`` of ♦-(x, k)-stability.
+        """
+        if self.suffix_read_sets is None:
+            raise RuntimeError("start_suffix() was never called")
+        return [
+            p for p in self._processes if len(self.suffix_read_sets[p]) <= k
+        ]
+
+    def observed_k_efficiency(self) -> int:
+        """The smallest k for which the run was k-efficient (Def. 4)."""
+        return self.max_reads_in_step
+
+    def observed_stability(self) -> int:
+        """The smallest k for which the *whole run* was k-stable (Def. 7)."""
+        return max((len(s) for s in self.read_sets.values()), default=0)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline numbers for tables and benchmarks."""
+        return {
+            "steps": self.steps,
+            "rounds": self.rounds,
+            "k_efficiency": self.max_reads_in_step,
+            "max_bits_per_step": self.max_bits_in_step,
+            "total_bits": self.total_bits,
+            "total_reads": self.total_reads,
+        }

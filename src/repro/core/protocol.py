@@ -1,0 +1,107 @@
+"""The :class:`Protocol` abstract base.
+
+A protocol (paper §2) is a collection of local algorithms, one per
+process.  All protocols in the paper are *uniform* — every process runs
+the same code, parameterised by its degree and (for MIS / MATCHING) a
+communication constant color — so a single object describes the whole
+collection: per-process variable declarations plus one prioritised
+action list.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from .actions import Actions
+from .state import Configuration
+from .variables import VariableSpec
+
+ProcessId = Hashable
+
+
+class Protocol(ABC):
+    """Abstract self-stabilizing protocol in the locally shared memory model.
+
+    Subclasses declare, per process, the communication variables,
+    internal variables and communication constants (:meth:`variables`),
+    and provide one prioritised tuple of guarded actions
+    (:meth:`actions`).  The legitimacy predicate the protocol stabilizes
+    to is exposed via :meth:`is_legitimate` so the simulator and the
+    benchmark harness can measure stabilization uniformly.
+    """
+
+    #: short name used in traces, tables and benchmark output
+    name: str = "protocol"
+
+    #: True when some action consults the rng (COLORING); deterministic
+    #: protocols keep this False so runs are replayable bit-for-bit.
+    randomized: bool = False
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def variables(self, network, p: ProcessId) -> Tuple[VariableSpec, ...]:
+        """All variable declarations of process ``p`` (consts included)."""
+
+    @abstractmethod
+    def actions(self) -> Actions:
+        """The guarded actions, highest priority first."""
+
+    def constant_values(self, network, p: ProcessId) -> Dict[str, Any]:
+        """Values of ``p``'s communication constants (default: none)."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Legitimacy
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def is_legitimate(self, network, config: Configuration) -> bool:
+        """The predicate this protocol stabilizes to."""
+
+    # ------------------------------------------------------------------
+    # Initial configurations
+    # ------------------------------------------------------------------
+    def arbitrary_configuration(
+        self, network, rng: Optional[random.Random] = None
+    ) -> Configuration:
+        """A uniformly random configuration — the model of a transient
+        fault that corrupted every variable (self-stabilization starts
+        from *any* configuration, so tests draw many of these)."""
+        rng = rng or random.Random()
+        states: Dict[ProcessId, Dict[str, Any]] = {}
+        for p in network.processes:
+            consts = self.constant_values(network, p)
+            state: Dict[str, Any] = {}
+            for spec in self.variables(network, p):
+                if spec.kind == "const":
+                    state[spec.name] = consts[spec.name]
+                else:
+                    state[spec.name] = spec.domain.sample(rng)
+            states[p] = state
+        return Configuration(states)
+
+    def specs_of(self, network) -> Dict[ProcessId, Tuple[VariableSpec, ...]]:
+        """Variable declarations for every process, keyed by pid."""
+        return {p: self.variables(network, p) for p in network.processes}
+
+    # ------------------------------------------------------------------
+    def validate_configuration(self, network, config: Configuration) -> None:
+        """Raise :class:`DomainError` unless every value is in-domain and
+        every constant carries its declared value."""
+        config.validate(self.specs_of(network))
+        for p in network.processes:
+            for name, value in self.constant_values(network, p).items():
+                actual = config.get(p, name)
+                if actual != value:
+                    from .exceptions import DomainError
+
+                    raise DomainError(
+                        f"constant {name}.{p!r} holds {actual!r}, "
+                        f"expected {value!r}"
+                    )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

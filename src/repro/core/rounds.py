@@ -1,0 +1,48 @@
+"""Round accounting (Dolev-Israeli-Moran rounds).
+
+The paper measures time in *rounds* (§2): the first round of a
+computation is the minimal prefix in which every process has been
+activated by the scheduler; the second round is the first round of the
+remaining suffix, and so on.  :class:`RoundTracker` implements exactly
+that with a shrinking remainder set.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence, Set
+
+ProcessId = Hashable
+
+
+class RoundTracker:
+    """Counts completed rounds given the per-step activation sets."""
+
+    def __init__(self, processes: Sequence[ProcessId]):
+        self._all: Set[ProcessId] = set(processes)
+        if not self._all:
+            raise ValueError("round tracking requires at least one process")
+        self._remaining: Set[ProcessId] = set(self._all)
+        self._completed = 0
+
+    @property
+    def completed_rounds(self) -> int:
+        """Number of rounds fully elapsed so far."""
+        return self._completed
+
+    @property
+    def pending(self) -> Set[ProcessId]:
+        """Processes not yet activated in the current round."""
+        return set(self._remaining)
+
+    def record_step(self, activated: Iterable[ProcessId]) -> bool:
+        """Account one step; returns True when this step closed a round."""
+        self._remaining.difference_update(activated)
+        if not self._remaining:
+            self._completed += 1
+            self._remaining = set(self._all)
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._remaining = set(self._all)
+        self._completed = 0

@@ -1,0 +1,207 @@
+"""Schedulers (daemons).
+
+The paper assumes a *distributed fair* scheduler: in each step any
+non-empty subset of processes may be selected, and every process is
+selected infinitely often.  This module provides a family of schedulers
+that all satisfy distribution, with fairness achieved either surely
+(synchronous, round-robin, bounded enforcement) or with probability 1
+(random subsets).  The adversarial variants let tests and benchmarks
+probe worst-case behaviour while staying inside the fairness contract.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Hashable, List, Optional, Sequence, Set
+
+ProcessId = Hashable
+
+
+class Scheduler(ABC):
+    """Chooses which processes act in each step."""
+
+    name: str = "scheduler"
+
+    @abstractmethod
+    def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
+        """A non-empty subset of ``processes`` to activate this step."""
+
+    def reset(self) -> None:
+        """Forget any internal pacing state (called when a run restarts)."""
+
+
+class SynchronousScheduler(Scheduler):
+    """Every process acts in every step — one step per round."""
+
+    name = "synchronous"
+
+    def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
+        return list(processes)
+
+
+class CentralScheduler(Scheduler):
+    """Exactly one uniformly random process acts per step.
+
+    The classical central daemon; fair with probability 1.
+    """
+
+    name = "central"
+
+    def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
+        return [processes[rng.randrange(len(processes))]]
+
+
+class RandomSubsetScheduler(Scheduler):
+    """Each process is independently included with probability ``p_act``.
+
+    Empty draws are resampled so every step activates someone.  Fair with
+    probability 1 and a good model of uncoordinated asynchrony.
+    """
+
+    name = "random-subset"
+
+    def __init__(self, p_act: float = 0.5):
+        if not 0.0 < p_act <= 1.0:
+            raise ValueError("p_act must be in (0, 1]")
+        self.p_act = p_act
+
+    def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
+        while True:
+            chosen = [p for p in processes if rng.random() < self.p_act]
+            if chosen:
+                return chosen
+
+
+class RoundRobinScheduler(Scheduler):
+    """Processes act one at a time in a fixed cyclic order.
+
+    Deterministic and fair; one round costs exactly ``n`` steps.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
+        p = processes[self._next % len(processes)]
+        self._next += 1
+        return [p]
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class BoundedFairScheduler(Scheduler):
+    """Adversarially skewed but *boundedly fair* scheduler.
+
+    Activates a random subset biased toward a (re-drawn) favoured pool,
+    but guarantees no process starves longer than ``bound`` steps — the
+    strongest adversary compatible with the paper's fairness assumption
+    that is still finitely checkable.
+    """
+
+    name = "bounded-fair"
+
+    def __init__(self, bound: int = 24, burst: int = 3):
+        if bound < 1:
+            raise ValueError("bound must be >= 1")
+        self.bound = bound
+        self.burst = burst
+        self._starved_for: dict = {}
+
+    def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
+        for p in processes:
+            self._starved_for.setdefault(p, 0)
+        overdue = [p for p in processes if self._starved_for[p] >= self.bound]
+        if overdue:
+            chosen = overdue
+        else:
+            k = min(len(processes), 1 + rng.randrange(self.burst))
+            chosen = list(rng.sample(list(processes), k))
+        chosen_set = set(chosen)
+        for p in processes:
+            self._starved_for[p] = 0 if p in chosen_set else self._starved_for[p] + 1
+        return chosen
+
+    def reset(self) -> None:
+        self._starved_for.clear()
+
+
+class FixedSequenceScheduler(Scheduler):
+    """Replays an explicit list of activation sets (for targeted tests).
+
+    After the scripted prefix is exhausted it falls back to synchronous
+    steps so fairness still holds on the infinite suffix.
+    """
+
+    name = "fixed-sequence"
+
+    def __init__(self, sequence: Sequence[Sequence[ProcessId]]):
+        self._sequence = [list(s) for s in sequence]
+        self._i = 0
+
+    def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
+        if self._i < len(self._sequence):
+            chosen = self._sequence[self._i]
+            self._i += 1
+            if chosen:
+                return list(chosen)
+        return list(processes)
+
+    def reset(self) -> None:
+        self._i = 0
+
+
+
+class LocallyCentralScheduler(Scheduler):
+    """No two *neighbors* act in the same step (the locally central
+    daemon).  Draws a random subset and greedily drops conflicts, so
+    each step activates an independent set; fair with probability 1.
+
+    Requires the network at construction because independence is a
+    topological notion the base scheduler interface cannot see.
+    """
+
+    name = "locally-central"
+
+    def __init__(self, network, p_act: float = 0.5):
+        if not 0.0 < p_act <= 1.0:
+            raise ValueError("p_act must be in (0, 1]")
+        self.network = network
+        self.p_act = p_act
+
+    def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
+        while True:
+            candidates = [p for p in processes if rng.random() < self.p_act]
+            rng.shuffle(candidates)
+            chosen: List[ProcessId] = []
+            taken: Set[ProcessId] = set()
+            for p in candidates:
+                if p in taken:
+                    continue
+                chosen.append(p)
+                taken.add(p)
+                taken.update(self.network.neighbors(p))
+            if chosen:
+                return chosen
+
+DEFAULT_SCHEDULERS = (
+    SynchronousScheduler,
+    CentralScheduler,
+    RandomSubsetScheduler,
+    RoundRobinScheduler,
+    BoundedFairScheduler,
+)
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Factory by name (used by examples and the benchmark harness)."""
+    table = {cls.name: cls for cls in DEFAULT_SCHEDULERS}
+    try:
+        return table[name](**kwargs)
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; known: {sorted(table)}"
+        ) from None

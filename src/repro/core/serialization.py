@@ -1,0 +1,68 @@
+"""Configuration checkpointing (JSON).
+
+Saving and restoring configurations makes experiments resumable and
+lets failures be archived as artefacts: a bench that finds a
+bound-violating run can dump the exact configuration for later
+inspection.  Process ids may be ints, strings or (nested) tuples —
+everything the topology generators produce — so ids are encoded with an
+explicit type tag rather than `repr`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable, List
+
+from .exceptions import ModelError
+from .state import Configuration
+
+ProcessId = Hashable
+
+
+def encode_pid(pid: ProcessId) -> Any:
+    """Encode a process id into JSON-safe, round-trippable form."""
+    if isinstance(pid, bool):  # bool is an int subclass; tag it first
+        return {"t": "bool", "v": pid}
+    if isinstance(pid, (int, str, float)) or pid is None:
+        return {"t": "scalar", "v": pid}
+    if isinstance(pid, tuple):
+        return {"t": "tuple", "v": [encode_pid(x) for x in pid]}
+    raise ModelError(f"cannot serialize process id of type {type(pid).__name__}")
+
+
+def decode_pid(raw: Any) -> ProcessId:
+    """Invert :func:`encode_pid`."""
+    tag = raw.get("t")
+    if tag in ("scalar", "bool"):
+        return raw["v"]
+    if tag == "tuple":
+        return tuple(decode_pid(x) for x in raw["v"])
+    raise ModelError(f"unknown process-id tag {tag!r}")
+
+
+def configuration_to_json(config: Configuration) -> str:
+    """Serialize a configuration (values must be JSON-representable —
+    true for every protocol in this package: ints, strings, booleans)."""
+    payload: List[Dict[str, Any]] = []
+    for p in config.processes:
+        payload.append({"pid": encode_pid(p), "state": dict(config.state_of(p))})
+    return json.dumps(payload, sort_keys=True)
+
+
+def configuration_from_json(text: str) -> Configuration:
+    """Inverse of :func:`configuration_to_json`."""
+    payload = json.loads(text)
+    states = {decode_pid(entry["pid"]): dict(entry["state"]) for entry in payload}
+    return Configuration(states)
+
+
+def save_checkpoint(config: Configuration, path: str) -> None:
+    """Write a configuration checkpoint file."""
+    with open(path, "w") as fh:
+        fh.write(configuration_to_json(config))
+
+
+def load_checkpoint(path: str) -> Configuration:
+    """Read a configuration checkpoint file."""
+    with open(path) as fh:
+        return configuration_from_json(fh.read())

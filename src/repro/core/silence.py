@@ -1,0 +1,125 @@
+"""Sound detection of silent configurations.
+
+Definition 3 calls a protocol *silent* when every computation converges
+to a configuration after which communication variables are fixed.
+Detecting that a given configuration is such a fixed point cannot rely
+on "nothing changed for a while": internal round-robin pointers keep
+moving forever, and an action that writes a communication variable may
+be enabled only under a pointer value that shows up much later.
+
+The checker here is exact for the protocols in this package (and any
+protocol whose internal variables have finite declared domains and are
+updated deterministically):
+
+Given a configuration γ, assume the communication part of γ never
+changes.  Then each process's future is an isolated walk over its own
+internal-variable space — guards read only its own state and the frozen
+neighbor communication states, and the highest-priority enabled action
+is unique.  We simulate that walk from the process's *actual* internal
+state.  If no reachable internal state fires an action that (a) writes a
+communication variable to a different value, or (b) writes a
+communication variable using randomness, the assumption is
+self-consistent and γ is silent.  Otherwise the offending write is a
+concrete witness that γ is not a communication fixed point.
+
+Randomness in an *internal* write would make the walk branch; the
+checker conservatively reports "not silent" in that case (none of the
+paper's protocols do this — COLORING's randomness targets the
+communication variable ``C`` and is caught by rule (b)).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+from .actions import first_enabled
+from .context import StepContext
+from .protocol import Protocol
+from .state import Configuration
+
+ProcessId = Hashable
+
+
+@dataclass(frozen=True)
+class QuiescenceWitness:
+    """Why a configuration is not silent: a reachable comm write."""
+
+    process: ProcessId
+    rule: str
+    variable: str
+    old_value: object
+    new_value: object
+    randomized: bool
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        how = "randomly" if self.randomized else f"to {self.new_value!r}"
+        return (
+            f"process {self.process!r} can rewrite {self.variable} "
+            f"(currently {self.old_value!r}) {how} via rule {self.rule!r}"
+        )
+
+
+def process_quiescence_witness(
+    protocol: Protocol,
+    network,
+    config: Configuration,
+    p: ProcessId,
+    specs_of=None,
+) -> Optional[QuiescenceWitness]:
+    """Witness that ``p`` can still change its communication state, or None."""
+    specs_of = specs_of or protocol.specs_of(network)
+    internal_specs = [s for s in specs_of[p] if s.kind == "internal"]
+    actions = protocol.actions()
+
+    # The walk mutates a private copy of p's internal variables.
+    trial = config.copy()
+    probe_rng = random.Random(0)
+
+    start = tuple(config.get(p, s.name) for s in internal_specs)
+    seen = set()
+    state = start
+    while state not in seen:
+        seen.add(state)
+        for spec, value in zip(internal_specs, state):
+            trial.set(p, spec.name, value)
+        ctx = StepContext(p, network, trial, specs_of, rng=probe_rng)
+        action = first_enabled(actions, ctx)
+        if action is None:
+            return None  # disabled forever at this internal state
+        action.effect(ctx)
+        comm_writes = ctx.comm_writes()
+        for name, new_value in comm_writes.items():
+            old_value = config.get(p, name)
+            if ctx.used_randomness:
+                return QuiescenceWitness(p, action.name, name, old_value, new_value, True)
+            if new_value != old_value:
+                return QuiescenceWitness(p, action.name, name, old_value, new_value, False)
+        if ctx.used_randomness and not comm_writes:
+            # Randomized internal update: the walk would branch; refuse
+            # to certify silence rather than guess.
+            return QuiescenceWitness(
+                p, action.name, "<internal>", None, None, True
+            )
+        state = tuple(
+            ctx.writes.get(s.name, trial.get(p, s.name)) for s in internal_specs
+        )
+    return None
+
+
+def silence_witness(
+    protocol: Protocol, network, config: Configuration
+) -> Optional[QuiescenceWitness]:
+    """First witness that ``config`` is not silent, or None if it is."""
+    specs_of = protocol.specs_of(network)
+    for p in network.processes:
+        witness = process_quiescence_witness(protocol, network, config, p, specs_of)
+        if witness is not None:
+            return witness
+    return None
+
+
+def is_silent(protocol: Protocol, network, config: Configuration) -> bool:
+    """True iff the communication variables of ``config`` are fixed forever."""
+    return silence_witness(protocol, network, config) is None

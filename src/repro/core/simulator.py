@@ -1,0 +1,242 @@
+"""The step simulator.
+
+Implements the computation model of paper §2 faithfully:
+
+* a *step* ``(γi, si, γi+1)`` activates a scheduler-chosen non-empty
+  subset ``si`` of processes;
+* every activated process evaluates its guards in priority order
+  **against γi** and executes its highest-priority enabled action (a
+  disabled process does nothing — the footnote case);
+* all writes land simultaneously in ``γi+1``;
+* rounds are counted with :class:`~repro.core.rounds.RoundTracker`;
+* every neighbor read (guards included) is tracked for the
+  communication-efficiency metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional
+
+from .actions import first_enabled
+from .context import StepContext
+from .exceptions import ConvergenceError
+from .metrics import MetricsCollector, StepRecord
+from .protocol import Protocol
+from .rounds import RoundTracker
+from .scheduler import Scheduler, SynchronousScheduler
+from .silence import is_silent, silence_witness
+from .state import Configuration
+
+ProcessId = Hashable
+
+
+@dataclass
+class StabilizationReport:
+    """Outcome of a :meth:`Simulator.run_until_silent` run."""
+
+    silent: bool
+    legitimate: bool
+    steps: int
+    rounds: int
+    #: step index at which the silence check first succeeded (None if never)
+    silent_at_step: Optional[int]
+    #: rounds completed when silence was detected (None if never)
+    silent_at_round: Optional[int]
+
+    @property
+    def stabilized(self) -> bool:
+        return self.silent and self.legitimate
+
+
+class Simulator:
+    """Executes one protocol on one network under one scheduler.
+
+    Parameters
+    ----------
+    protocol, network:
+        What to run and where.
+    scheduler:
+        Defaults to the synchronous scheduler (one step per round).
+    seed:
+        Seeds the single :class:`random.Random` driving both the
+        scheduler and any randomized actions, so runs replay exactly.
+    config:
+        Starting configuration; defaults to a fresh *arbitrary*
+        (uniformly corrupted) configuration, the standard
+        self-stabilization starting point.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        network,
+        scheduler: Optional[Scheduler] = None,
+        seed: Optional[int] = None,
+        config: Optional[Configuration] = None,
+    ):
+        self.protocol = protocol
+        self.network = network
+        self.scheduler = scheduler or SynchronousScheduler()
+        self.rng = random.Random(seed)
+        self.specs_of = protocol.specs_of(network)
+        self._actions = protocol.actions()
+        if config is None:
+            config = protocol.arbitrary_configuration(network, self.rng)
+        else:
+            config = config.copy()
+        protocol.validate_configuration(network, config)
+        self.config = config
+        self.round_tracker = RoundTracker(network.processes)
+        self.metrics = MetricsCollector(network.processes)
+        self.step_index = 0
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self) -> StepRecord:
+        """Execute one step and return its record."""
+        selected = self.scheduler.select(self.network.processes, self.rng)
+        if not selected:
+            raise ConvergenceError("scheduler selected an empty set")
+
+        executions = []
+        action_rng = self.rng if self.protocol.randomized else None
+        for p in selected:
+            ctx = StepContext(
+                p, self.network, self.config, self.specs_of, rng=action_rng
+            )
+            action = first_enabled(self._actions, ctx)
+            if action is not None:
+                action.effect(ctx)
+            executions.append((p, ctx, action))
+
+        # Simultaneous writes: γi+1 is built only after every activated
+        # process has computed its action against γi.
+        for p, ctx, _action in executions:
+            for name, value in ctx.writes.items():
+                self.config.set(p, name, value)
+
+        closed = self.round_tracker.record_step(selected)
+        record = StepRecord(
+            index=self.step_index,
+            activated=frozenset(selected),
+            executed={
+                p: (action.name if action else None)
+                for p, _ctx, action in executions
+            },
+            ports_read={p: frozenset(ctx.ports_read) for p, ctx, _ in executions},
+            bits_read={p: ctx.bits_read for p, ctx, _ in executions},
+            closed_round=closed,
+        )
+        self.metrics.record(record)
+        self.step_index += 1
+        return record
+
+    def run_steps(self, count: int) -> None:
+        """Execute exactly ``count`` steps."""
+        for _ in range(count):
+            self.step()
+
+    def run_rounds(self, count: int) -> int:
+        """Execute until ``count`` more rounds complete; returns steps used."""
+        target = self.round_tracker.completed_rounds + count
+        steps = 0
+        while self.round_tracker.completed_rounds < target:
+            self.step()
+            steps += 1
+        return steps
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_legitimate(self) -> bool:
+        return self.protocol.is_legitimate(self.network, self.config)
+
+    def is_silent(self) -> bool:
+        return is_silent(self.protocol, self.network, self.config)
+
+    def silence_witness(self):
+        return silence_witness(self.protocol, self.network, self.config)
+
+    def enabled_processes(self) -> List[ProcessId]:
+        """Processes with at least one enabled action in the current γ."""
+        enabled = []
+        for p in self.network.processes:
+            ctx = StepContext(p, self.network, self.config, self.specs_of, rng=None)
+            try:
+                action = first_enabled(self._actions, ctx)
+            except Exception:
+                # Randomized guards would need an rng; none of the paper's
+                # guards are randomized, so this is defensive only.
+                raise
+            if action is not None:
+                enabled.append(p)
+        return enabled
+
+    # ------------------------------------------------------------------
+    # High-level runs
+    # ------------------------------------------------------------------
+    def run_until_silent(
+        self,
+        max_rounds: int = 10_000,
+        check_legitimacy: bool = True,
+    ) -> StabilizationReport:
+        """Run until the configuration is provably silent.
+
+        The (exact) silence check runs at every round boundary.  Raises
+        :class:`ConvergenceError` if ``max_rounds`` elapse first — for
+        the paper's protocols that indicates a bug, because all three
+        are silent within known round bounds.
+        """
+        if self.is_silent():
+            return self._report(silent=True)
+        start_round = self.round_tracker.completed_rounds
+        while self.round_tracker.completed_rounds - start_round < max_rounds:
+            record = self.step()
+            if record.closed_round and self.is_silent():
+                return self._report(silent=True)
+        raise ConvergenceError(
+            f"{self.protocol.name} not silent after {max_rounds} rounds "
+            f"on {self.network!r} (witness: {self.silence_witness()})"
+        )
+
+    def run_until_legitimate(self, max_rounds: int = 10_000) -> StabilizationReport:
+        """Run until the legitimacy predicate holds (weaker than silence)."""
+        if self.is_legitimate():
+            return self._report(silent=None)
+        start_round = self.round_tracker.completed_rounds
+        while self.round_tracker.completed_rounds - start_round < max_rounds:
+            self.step()
+            if self.is_legitimate():
+                return self._report(silent=None)
+        raise ConvergenceError(
+            f"{self.protocol.name} not legitimate after {max_rounds} rounds"
+        )
+
+    def measure_suffix_stability(self, extra_rounds: int = 10) -> Dict[ProcessId, set]:
+        """Arm suffix tracking and run ``extra_rounds`` more rounds.
+
+        Returns each process's accumulated neighbor-read set over the
+        suffix — the raw material of the ♦-(x, k)-stability measurement.
+        Call after reaching silence.
+        """
+        self.metrics.start_suffix()
+        self.run_rounds(extra_rounds)
+        assert self.metrics.suffix_read_sets is not None
+        return {p: set(s) for p, s in self.metrics.suffix_read_sets.items()}
+
+    # ------------------------------------------------------------------
+    def _report(self, silent: Optional[bool]) -> StabilizationReport:
+        actually_silent = self.is_silent() if silent is None else silent
+        return StabilizationReport(
+            silent=actually_silent,
+            legitimate=self.is_legitimate(),
+            steps=self.step_index,
+            rounds=self.round_tracker.completed_rounds,
+            silent_at_step=self.step_index if actually_silent else None,
+            silent_at_round=(
+                self.round_tracker.completed_rounds if actually_silent else None
+            ),
+        )

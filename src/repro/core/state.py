@@ -1,0 +1,108 @@
+"""Process states and configurations.
+
+A *configuration* (paper §2) is an instance of the states of all
+processes; the *communication configuration* restricts each state to its
+communication variables.  Configurations here are immutable-by-convention
+nested dicts with explicit copy helpers so the simulator can implement
+the paper's read-from-``γi`` / write-to-``γi+1`` step semantics safely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Mapping, Tuple
+
+from .exceptions import DomainError
+from .variables import VariableSpec
+
+ProcessId = Hashable
+ProcessState = Dict[str, Any]
+
+
+class Configuration:
+    """States of all processes, split per variable kind on demand.
+
+    The mapping is ``pid -> {var_name: value}`` covering communication
+    variables, internal variables and communication constants alike;
+    the owning protocol's variable specs determine each name's kind.
+    """
+
+    __slots__ = ("_states",)
+
+    def __init__(self, states: Mapping[ProcessId, Mapping[str, Any]]):
+        self._states = {p: dict(s) for p, s in states.items()}
+
+    # -- access --------------------------------------------------------
+    def state_of(self, p: ProcessId) -> ProcessState:
+        """Mutable reference to p's state dict (callers must not abuse)."""
+        return self._states[p]
+
+    def get(self, p: ProcessId, var: str) -> Any:
+        return self._states[p][var]
+
+    def set(self, p: ProcessId, var: str, value: Any) -> None:
+        self._states[p][var] = value
+
+    @property
+    def processes(self) -> Iterable[ProcessId]:
+        return self._states.keys()
+
+    # -- copies and projections -----------------------------------------
+    def copy(self) -> "Configuration":
+        return Configuration(self._states)
+
+    def comm_projection(
+        self, specs_of: Mapping[ProcessId, Tuple[VariableSpec, ...]]
+    ) -> Dict[ProcessId, Tuple[Tuple[str, Any], ...]]:
+        """The communication configuration (paper §2): neighbor-readable
+        variables only, as a hashable canonical form."""
+        proj = {}
+        for p, state in self._states.items():
+            readable = tuple(
+                (spec.name, state[spec.name])
+                for spec in specs_of[p]
+                if spec.readable_by_neighbors
+            )
+            proj[p] = readable
+        return proj
+
+    def comm_state_of(
+        self, p: ProcessId, specs: Tuple[VariableSpec, ...]
+    ) -> Tuple[Tuple[str, Any], ...]:
+        """Communication state of one process, canonical/hashable."""
+        state = self._states[p]
+        return tuple(
+            (spec.name, state[spec.name])
+            for spec in specs
+            if spec.readable_by_neighbors
+        )
+
+    # -- validation ------------------------------------------------------
+    def validate(self, specs_of: Mapping[ProcessId, Tuple[VariableSpec, ...]]) -> None:
+        """Check every value sits in its declared domain."""
+        for p, specs in specs_of.items():
+            state = self._states[p]
+            for spec in specs:
+                if spec.name not in state:
+                    raise DomainError(f"{p!r} is missing variable {spec.name!r}")
+                if state[spec.name] not in spec.domain:
+                    raise DomainError(
+                        f"value {state[spec.name]!r} of {spec.name}.{p!r} "
+                        f"outside its domain"
+                    )
+
+    # -- equality (full state) --------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._states == other._states
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def __repr__(self) -> str:
+        return f"Configuration({self._states!r})"
+
+    def as_dict(self) -> Dict[ProcessId, ProcessState]:
+        """Deep-ish copy as plain dicts (values assumed immutable)."""
+        return {p: dict(s) for p, s in self._states.items()}

@@ -1,0 +1,176 @@
+"""Execution tracing: record, export, and replay computations.
+
+A trace captures, per step, the activated set, the rule each process
+fired, the neighbor registers it read, and the communication-variable
+writes that landed.  Traces serve three purposes:
+
+* *debugging* — inspecting exactly how a computation unfolded;
+* *auditing* — the efficiency theorems quantify over steps, and a trace
+  is the evidence a run was 1-efficient;
+* *replay verification* — the simulator is seed-deterministic, so
+  re-running a traced configuration must reproduce the trace exactly
+  (:func:`verify_replay`), which tests use to pin the step semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from .simulator import Simulator
+
+ProcessId = Hashable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of a traced computation."""
+
+    step: int
+    activated: Tuple[str, ...]
+    #: process -> rule name fired ("" when the process was disabled)
+    rules: Dict[str, str]
+    #: process -> sorted ports read
+    reads: Dict[str, Tuple[int, ...]]
+    #: process -> {comm var: new value} for values that changed
+    comm_writes: Dict[str, Dict[str, Any]]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "step": self.step,
+                "activated": list(self.activated),
+                "rules": self.rules,
+                "reads": {p: list(r) for p, r in self.reads.items()},
+                "comm_writes": self.comm_writes,
+            },
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "TraceEvent":
+        raw = json.loads(line)
+        return TraceEvent(
+            step=raw["step"],
+            activated=tuple(raw["activated"]),
+            rules=dict(raw["rules"]),
+            reads={p: tuple(r) for p, r in raw["reads"].items()},
+            comm_writes={p: dict(w) for p, w in raw["comm_writes"].items()},
+        )
+
+
+@dataclass
+class Trace:
+    """A recorded computation prefix."""
+
+    protocol: str
+    seed: Optional[int]
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    def k_efficiency(self) -> int:
+        """Largest per-step neighbor-read count in the trace (Def. 4)."""
+        worst = 0
+        for event in self.events:
+            for ports in event.reads.values():
+                worst = max(worst, len(ports))
+        return worst
+
+    def read_set_of(self, pid) -> set:
+        """Accumulated ports a process read over the trace (Def. 7)."""
+        acc: set = set()
+        key = repr(pid)
+        for event in self.events:
+            acc.update(event.reads.get(key, ()))
+        return acc
+
+    def comm_quiet_suffix(self) -> int:
+        """Number of trailing steps with no communication write."""
+        quiet = 0
+        for event in reversed(self.events):
+            if any(event.comm_writes.values()):
+                break
+            quiet += 1
+        return quiet
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        header = json.dumps(
+            {"protocol": self.protocol, "seed": self.seed}, sort_keys=True
+        )
+        return "\n".join([header] + [e.to_json() for e in self.events])
+
+    @staticmethod
+    def from_jsonl(text: str) -> "Trace":
+        lines = [line for line in text.splitlines() if line.strip()]
+        header = json.loads(lines[0])
+        events = [TraceEvent.from_json(line) for line in lines[1:]]
+        return Trace(header["protocol"], header["seed"], events)
+
+
+class TraceRecorder:
+    """Drives a :class:`Simulator` while recording a :class:`Trace`."""
+
+    def __init__(self, sim: Simulator, seed: Optional[int] = None):
+        self.sim = sim
+        self.trace = Trace(protocol=sim.protocol.name, seed=seed)
+        self._specs_of = sim.protocol.specs_of(sim.network)
+
+    def step(self) -> TraceEvent:
+        before = self.sim.config.comm_projection(self._specs_of)
+        record = self.sim.step()
+        after = self.sim.config.comm_projection(self._specs_of)
+
+        comm_writes: Dict[str, Dict[str, Any]] = {}
+        for p in record.activated:
+            if before[p] != after[p]:
+                old = dict(before[p])
+                comm_writes[repr(p)] = {
+                    name: value
+                    for name, value in after[p]
+                    if old.get(name) != value
+                }
+        event = TraceEvent(
+            step=record.index,
+            activated=tuple(sorted(repr(p) for p in record.activated)),
+            rules={
+                repr(p): (name or "") for p, name in record.executed.items()
+            },
+            reads={
+                repr(p): tuple(sorted(ports))
+                for p, ports in record.ports_read.items()
+            },
+            comm_writes=comm_writes,
+        )
+        self.trace.events.append(event)
+        return event
+
+    def run_steps(self, count: int) -> Trace:
+        for _ in range(count):
+            self.step()
+        return self.trace
+
+
+def record_run(protocol, network, seed: int, steps: int, scheduler=None) -> Trace:
+    """Record ``steps`` steps of a fresh seeded run."""
+    sim = Simulator(protocol, network, scheduler=scheduler, seed=seed)
+    recorder = TraceRecorder(sim, seed=seed)
+    return recorder.run_steps(steps)
+
+
+def verify_replay(protocol_factory, network, trace: Trace, scheduler_factory=None) -> bool:
+    """Re-run from the trace's seed and check event-for-event equality.
+
+    ``protocol_factory`` / ``scheduler_factory`` must construct objects
+    equivalent to the original run's (fresh instances, same parameters).
+    """
+    scheduler = scheduler_factory() if scheduler_factory else None
+    replay = record_run(
+        protocol_factory(), network, seed=trace.seed, steps=len(trace),
+        scheduler=scheduler,
+    )
+    return replay.events == trace.events

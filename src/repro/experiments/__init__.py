@@ -1,0 +1,20 @@
+"""Experiment harness: seeded trials, sweeps, table rendering."""
+
+from .runner import (
+    SweepPoint,
+    TrialResult,
+    run_sweep,
+    run_trial,
+)
+from .tables import format_csv, format_markdown_table, format_table, save_csv
+
+__all__ = [
+    "SweepPoint",
+    "TrialResult",
+    "format_csv",
+    "format_markdown_table",
+    "format_table",
+    "save_csv",
+    "run_sweep",
+    "run_trial",
+]

@@ -1,0 +1,118 @@
+"""Seeded trial running and aggregation for benches and examples.
+
+One *trial* = one protocol on one network under one scheduler from one
+corrupted start, run to silence with full metric collection.  Sweeps
+aggregate many trials (means, maxima) so benches can print one table row
+per parameter point, paper-formula next to measured value.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.protocol import Protocol
+from ..core.scheduler import Scheduler, SynchronousScheduler
+from ..core.simulator import Simulator
+from ..graphs.topology import Network
+
+ProtocolFactory = Callable[[Network], Protocol]
+SchedulerFactory = Callable[[], Scheduler]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Headline numbers of one run-to-silence trial."""
+
+    protocol: str
+    scheduler: str
+    n: int
+    m: int
+    delta: int
+    seed: int
+    steps: int
+    rounds: int
+    k_efficiency: int
+    max_bits_per_step: float
+    total_bits: float
+    legitimate: bool
+    silent: bool
+
+
+def run_trial(
+    protocol: Protocol,
+    network: Network,
+    scheduler: Optional[Scheduler] = None,
+    seed: int = 0,
+    max_rounds: int = 50_000,
+) -> TrialResult:
+    """Run one protocol instance to silence and collect its metrics."""
+    scheduler = scheduler or SynchronousScheduler()
+    scheduler.reset()
+    sim = Simulator(protocol, network, scheduler=scheduler, seed=seed)
+    report = sim.run_until_silent(max_rounds=max_rounds)
+    summary = sim.metrics.summary()
+    return TrialResult(
+        protocol=protocol.name,
+        scheduler=scheduler.name,
+        n=network.n,
+        m=network.m,
+        delta=network.max_degree,
+        seed=seed,
+        steps=report.steps,
+        rounds=report.rounds,
+        k_efficiency=int(summary["k_efficiency"]),
+        max_bits_per_step=summary["max_bits_per_step"],
+        total_bits=summary["total_bits"],
+        legitimate=report.legitimate,
+        silent=report.silent,
+    )
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated trials at one parameter point."""
+
+    label: str
+    trials: List[TrialResult] = field(default_factory=list)
+
+    def _values(self, attr: str) -> List[float]:
+        return [getattr(t, attr) for t in self.trials]
+
+    def mean(self, attr: str) -> float:
+        return statistics.fmean(self._values(attr))
+
+    def max(self, attr: str) -> float:
+        return max(self._values(attr))
+
+    def min(self, attr: str) -> float:
+        return min(self._values(attr))
+
+    def stdev(self, attr: str) -> float:
+        values = self._values(attr)
+        return statistics.pstdev(values) if len(values) > 1 else 0.0
+
+    @property
+    def all_stabilized(self) -> bool:
+        return all(t.legitimate and t.silent for t in self.trials)
+
+
+def run_sweep(
+    label: str,
+    protocol_factory: ProtocolFactory,
+    network: Network,
+    seeds: Sequence[int],
+    scheduler_factory: Optional[SchedulerFactory] = None,
+    max_rounds: int = 50_000,
+) -> SweepPoint:
+    """Run one trial per seed at a fixed parameter point."""
+    point = SweepPoint(label=label)
+    for seed in seeds:
+        protocol = protocol_factory(network)
+        scheduler = scheduler_factory() if scheduler_factory else None
+        point.trials.append(
+            run_trial(protocol, network, scheduler=scheduler, seed=seed,
+                      max_rounds=max_rounds)
+        )
+    return point

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for bench output and EXPERIMENTS.md.
+
+The benches print the same rows the paper's claims describe; keeping
+the renderer dependency-free makes the harness runnable anywhere the
+library is.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    return str(cell)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """GitHub-flavored markdown rendering (for EXPERIMENTS.md)."""
+    out = ["| " + " | ".join(headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        out.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """CSV rendering (for archiving sweep results as artefacts)."""
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow([_fmt(cell) for cell in row])
+    return buffer.getvalue()
+
+
+def save_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Write sweep results to a CSV file."""
+    with open(path, "w", newline="") as fh:
+        fh.write(format_csv(headers, rows))

@@ -1,0 +1,27 @@
+"""Transient fault injection and recovery measurement."""
+
+from .injection import (
+    adversarial_reset,
+    corrupt_comm_only,
+    corrupt_fraction,
+    corrupt_internal_only,
+    corrupt_processes,
+)
+from .recovery import (
+    AvailabilityReport,
+    RecoveryReport,
+    availability_experiment,
+    measure_recovery,
+)
+
+__all__ = [
+    "AvailabilityReport",
+    "RecoveryReport",
+    "adversarial_reset",
+    "availability_experiment",
+    "corrupt_comm_only",
+    "corrupt_fraction",
+    "corrupt_internal_only",
+    "corrupt_processes",
+    "measure_recovery",
+]

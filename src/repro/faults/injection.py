@@ -1,0 +1,99 @@
+"""Transient fault injection.
+
+Self-stabilization's fault model is brutal and simple: a transient
+fault writes *arbitrary values* into the variables of affected
+processes (communication constants excluded — they model read-only
+hardware like a burned-in color).  This module provides composable
+fault shapes over a live :class:`~repro.core.simulator.Simulator`:
+
+* :func:`corrupt_processes` — arbitrary values at chosen victims;
+* :func:`corrupt_fraction` — a random fraction of the network;
+* :func:`corrupt_comm_only` / :func:`corrupt_internal_only` — split
+  corruption along the paper's variable-kind distinction (useful for
+  testing that internal-pointer corruption alone cannot break a silent
+  configuration's *communication* fixed point);
+* :func:`adversarial_reset` — set every process to one fixed state
+  (e.g. "everyone thinks it is a Dominator"), the worst symmetric case.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence
+
+from ..core.simulator import Simulator
+
+ProcessId = Hashable
+
+
+def _writable_specs(sim: Simulator, p: ProcessId, kinds: Sequence[str]):
+    return [s for s in sim.specs_of[p] if s.kind in kinds]
+
+
+def corrupt_processes(
+    sim: Simulator,
+    victims: Iterable[ProcessId],
+    rng: random.Random,
+    kinds: Sequence[str] = ("comm", "internal"),
+) -> List[ProcessId]:
+    """Write arbitrary in-domain values into each victim's variables."""
+    hit = []
+    for p in victims:
+        for spec in _writable_specs(sim, p, kinds):
+            sim.config.set(p, spec.name, spec.domain.sample(rng))
+        hit.append(p)
+    return hit
+
+
+def corrupt_fraction(
+    sim: Simulator,
+    fraction: float,
+    rng: random.Random,
+    kinds: Sequence[str] = ("comm", "internal"),
+) -> List[ProcessId]:
+    """Corrupt a uniformly random ⌈fraction·n⌉ subset of processes."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    processes = list(sim.network.processes)
+    count = max(1, round(fraction * len(processes))) if fraction > 0 else 0
+    victims = rng.sample(processes, min(count, len(processes)))
+    return corrupt_processes(sim, victims, rng, kinds)
+
+
+def corrupt_comm_only(sim: Simulator, victims, rng: random.Random):
+    """Corrupt only neighbor-visible state (communication variables)."""
+    return corrupt_processes(sim, victims, rng, kinds=("comm",))
+
+
+def corrupt_internal_only(sim: Simulator, victims, rng: random.Random):
+    """Corrupt only private state (round-robin pointers etc.)."""
+    return corrupt_processes(sim, victims, rng, kinds=("internal",))
+
+
+def adversarial_reset(
+    sim: Simulator, state: Dict[str, Any], victims: Optional[Iterable[ProcessId]] = None
+) -> List[ProcessId]:
+    """Force one fixed state onto every victim (default: all processes).
+
+    Values are clamped per process: a variable absent from ``state`` is
+    left untouched, and out-of-domain values raise.
+    """
+    hit = []
+    chosen = list(victims) if victims is not None else list(sim.network.processes)
+    for p in chosen:
+        for spec in _writable_specs(sim, p, ("comm", "internal")):
+            if spec.name not in state:
+                continue
+            value = state[spec.name]
+            if value not in spec.domain:
+                # Per-process domains differ (cur ranges over 1..δ.p);
+                # clamp pointer-like values rather than failing.
+                if hasattr(spec.domain, "lo") and isinstance(value, int):
+                    value = max(spec.domain.lo, min(spec.domain.hi, value))
+                else:
+                    raise ValueError(
+                        f"value {value!r} invalid for {spec.name}.{p!r}"
+                    )
+            sim.config.set(p, spec.name, value)
+        hit.append(p)
+    return hit

@@ -1,0 +1,117 @@
+"""Recovery measurement under repeated transient faults.
+
+Quantifies what self-stabilization buys in operational terms:
+
+* :func:`measure_recovery` — inject one fault into a stabilized system
+  and report the rounds until silence returns;
+* :func:`availability_experiment` — inject faults periodically and
+  measure the fraction of steps the system spent legitimate, the
+  steady-state availability figure a deployment would care about.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.protocol import Protocol
+from ..core.scheduler import Scheduler
+from ..core.simulator import Simulator
+from .injection import corrupt_fraction
+
+FaultFn = Callable[[Simulator, random.Random], object]
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of a single fault / recovery cycle."""
+
+    victims: int
+    disturbed: bool
+    rounds_to_recover: int
+    steps_to_recover: int
+
+
+def measure_recovery(
+    sim: Simulator,
+    fault: FaultFn,
+    rng: random.Random,
+    max_rounds: int = 50_000,
+) -> RecoveryReport:
+    """Stabilize, inject ``fault``, and time re-stabilization."""
+    sim.run_until_silent(max_rounds=max_rounds)
+    victims = fault(sim, rng)
+    disturbed = not sim.is_silent()
+    round_before = sim.round_tracker.completed_rounds
+    step_before = sim.step_index
+    report = sim.run_until_silent(max_rounds=max_rounds)
+    return RecoveryReport(
+        victims=len(victims) if isinstance(victims, list) else -1,
+        disturbed=disturbed,
+        rounds_to_recover=report.rounds - round_before,
+        steps_to_recover=report.steps - step_before,
+    )
+
+
+@dataclass
+class AvailabilityReport:
+    """Outcome of a long run with periodic faults."""
+
+    total_steps: int
+    legitimate_steps: int
+    faults_injected: int
+    recoveries: List[int] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of steps spent in a legitimate configuration."""
+        if self.total_steps == 0:
+            return 1.0
+        return self.legitimate_steps / self.total_steps
+
+    @property
+    def mean_recovery_rounds(self) -> float:
+        if not self.recoveries:
+            return 0.0
+        return sum(self.recoveries) / len(self.recoveries)
+
+
+def availability_experiment(
+    protocol: Protocol,
+    network,
+    fault_period_rounds: int = 20,
+    fault_fraction: float = 0.2,
+    total_rounds: int = 200,
+    scheduler: Optional[Scheduler] = None,
+    seed: int = 0,
+) -> AvailabilityReport:
+    """Run ``total_rounds`` with a fault every ``fault_period_rounds``.
+
+    Tracks per-step legitimacy, so the availability figure reflects both
+    how often faults strike and how quickly the protocol cleans up.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    sim = Simulator(protocol, network, scheduler=scheduler, seed=seed)
+    report = AvailabilityReport(0, 0, 0)
+
+    recovering_since: Optional[int] = None
+    next_fault = fault_period_rounds
+    while sim.round_tracker.completed_rounds < total_rounds:
+        record = sim.step()
+        report.total_steps += 1
+        legitimate = sim.is_legitimate()
+        if legitimate:
+            report.legitimate_steps += 1
+            if recovering_since is not None:
+                report.recoveries.append(
+                    sim.round_tracker.completed_rounds - recovering_since
+                )
+                recovering_since = None
+        if record.closed_round and sim.round_tracker.completed_rounds >= next_fault:
+            corrupt_fraction(sim, fault_fraction, rng)
+            report.faults_injected += 1
+            next_fault += fault_period_rounds
+            if not sim.is_legitimate() and recovering_since is None:
+                recovering_since = sim.round_tracker.completed_rounds
+    return report

@@ -1,0 +1,136 @@
+"""Topology generators.
+
+Standard families used by the tests, examples and benchmarks: chains,
+rings, stars, cliques, grids, tori, trees, caterpillars, hypercubes and
+random graphs.  All return :class:`~repro.graphs.topology.Network`
+objects with process ids ``0..n-1`` (or coordinate tuples for grids).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+import networkx as nx
+
+from ..core.exceptions import TopologyError
+from .topology import Network
+
+
+def chain(n: int) -> Network:
+    """A path of ``n`` processes: ``0 — 1 — … — n-1``."""
+    if n < 1:
+        raise TopologyError("chain needs at least one process")
+    return Network(nx.path_graph(n))
+
+
+def ring(n: int) -> Network:
+    """A cycle of ``n ≥ 3`` processes."""
+    if n < 3:
+        raise TopologyError("ring needs at least 3 processes")
+    return Network(nx.cycle_graph(n))
+
+
+def star(leaves: int) -> Network:
+    """A star: center ``0`` plus ``leaves`` pendant processes."""
+    if leaves < 1:
+        raise TopologyError("star needs at least one leaf")
+    return Network(nx.star_graph(leaves))
+
+
+def clique(n: int) -> Network:
+    """The complete graph on ``n ≥ 2`` processes (a Δ-clique forces the
+    Δ+1 colors of protocol COLORING)."""
+    if n < 2:
+        raise TopologyError("clique needs at least 2 processes")
+    return Network(nx.complete_graph(n))
+
+
+def grid(rows: int, cols: int) -> Network:
+    """A rows×cols 2D mesh; process ids are (row, col) tuples."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid dimensions must be positive")
+    return Network(nx.grid_2d_graph(rows, cols))
+
+
+def torus(rows: int, cols: int) -> Network:
+    """A rows×cols 2D torus (4-regular when both dims ≥ 3)."""
+    if rows < 3 or cols < 3:
+        raise TopologyError("torus dimensions must be ≥ 3")
+    return Network(nx.grid_2d_graph(rows, cols, periodic=True))
+
+
+def hypercube(dim: int) -> Network:
+    """The ``dim``-dimensional hypercube (ids are ints 0..2^dim-1)."""
+    if dim < 1:
+        raise TopologyError("hypercube dimension must be ≥ 1")
+    g = nx.hypercube_graph(dim)
+    return Network(nx.convert_node_labels_to_integers(g, ordering="sorted"))
+
+
+def binary_tree(height: int) -> Network:
+    """A complete binary tree of the given height (height 0 = one node)."""
+    if height < 0:
+        raise TopologyError("tree height must be ≥ 0")
+    return Network(nx.balanced_tree(2, height)) if height > 0 else chain(1)
+
+
+def caterpillar(spine: int, legs_per_node: int) -> Network:
+    """A caterpillar: a spine path with ``legs_per_node`` pendants each.
+
+    Caterpillars stress the stability measures: spine processes see
+    high degree while pendants are forced to watch their only neighbor.
+    """
+    if spine < 1 or legs_per_node < 0:
+        raise TopologyError("bad caterpillar parameters")
+    g = nx.path_graph(spine)
+    next_id = spine
+    for v in range(spine):
+        for _ in range(legs_per_node):
+            g.add_edge(v, next_id)
+            next_id += 1
+    return Network(g)
+
+
+def random_connected(
+    n: int, p: float, seed: Optional[int] = None, max_tries: int = 200
+) -> Network:
+    """A connected Erdős–Rényi G(n, p) sample (resampled until connected)."""
+    if n < 1:
+        raise TopologyError("need at least one process")
+    rng = random.Random(seed)
+    for _ in range(max_tries):
+        g = nx.gnp_random_graph(n, p, seed=rng.randrange(2**31))
+        if n == 1 or nx.is_connected(g):
+            return Network(g)
+    # Fall back: connect components along a random spanning chain.
+    g = nx.gnp_random_graph(n, p, seed=rng.randrange(2**31))
+    comps = [sorted(c) for c in nx.connected_components(g)]
+    for a, b in zip(comps, comps[1:]):
+        g.add_edge(a[0], b[0])
+    return Network(g)
+
+
+def random_regular(n: int, d: int, seed: Optional[int] = None) -> Network:
+    """A random connected ``d``-regular graph on ``n`` processes."""
+    if n * d % 2 != 0:
+        raise TopologyError("n*d must be even for a d-regular graph")
+    rng = random.Random(seed)
+    for _ in range(200):
+        g = nx.random_regular_graph(d, n, seed=rng.randrange(2**31))
+        if nx.is_connected(g):
+            return Network(g)
+    raise TopologyError(f"could not sample a connected {d}-regular graph on {n}")
+
+
+def random_tree(n: int, seed: Optional[int] = None) -> Network:
+    """A uniformly random labelled tree on ``n`` processes."""
+    if n < 1:
+        raise TopologyError("need at least one process")
+    if n == 1:
+        return chain(1)
+    if hasattr(nx, "random_labeled_tree"):
+        g = nx.random_labeled_tree(n, seed=seed)
+    else:  # networkx < 3.2
+        g = nx.random_tree(n, seed=seed)
+    return Network(g)

@@ -1,0 +1,192 @@
+"""Port-numbered network topologies.
+
+The paper's model assumes each process ``p`` distinguishes its neighbors
+via *local indices* numbered ``1 .. δ.p`` (Section 2).  The local index
+assignment (the "port numbering") is adversarial in anonymous networks —
+several impossibility arguments hinge on choosing it maliciously — so the
+topology object carries an explicit, per-process port map rather than
+relying on any canonical neighbor ordering.
+
+:class:`Network` wraps a :mod:`networkx` graph and exposes the paper's
+notation: ``Γ.p`` (:meth:`Network.neighbors`), ``δ.p``
+(:meth:`Network.degree`), ``Δ`` (:attr:`Network.max_degree`), ``D``
+(:attr:`Network.diameter`), ``n`` and ``m``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..core.exceptions import TopologyError
+
+ProcessId = Hashable
+
+
+class Network:
+    """An undirected connected network with explicit port numbering.
+
+    Parameters
+    ----------
+    graph:
+        Undirected :class:`networkx.Graph`.  Must be connected, simple,
+        with at least one node and no self-loops.
+    ports:
+        Optional mapping ``p -> [q1, q2, ...]`` listing p's neighbors in
+        local-index order (index ``i`` of the list is port ``i+1``).
+        When omitted, a deterministic port numbering is derived from the
+        graph's neighbor iteration order.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        ports: Optional[Mapping[ProcessId, Sequence[ProcessId]]] = None,
+    ):
+        if graph.number_of_nodes() == 0:
+            raise TopologyError("network must have at least one process")
+        if any(graph.has_edge(v, v) for v in graph.nodes):
+            raise TopologyError("self-loops are not allowed")
+        if graph.number_of_nodes() > 1 and not nx.is_connected(graph):
+            raise TopologyError("network must be connected")
+
+        self._graph = graph.copy()
+        self._ports: Dict[ProcessId, Tuple[ProcessId, ...]] = {}
+        self._port_of: Dict[ProcessId, Dict[ProcessId, int]] = {}
+
+        for p in self._graph.nodes:
+            if ports is not None and p in ports:
+                order = tuple(ports[p])
+                if sorted(map(repr, order)) != sorted(
+                    map(repr, self._graph.neighbors(p))
+                ):
+                    raise TopologyError(
+                        f"port list of {p!r} does not enumerate its neighbors"
+                    )
+            else:
+                order = tuple(self._graph.neighbors(p))
+            self._ports[p] = order
+            self._port_of[p] = {q: i + 1 for i, q in enumerate(order)}
+
+        self._diameter: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Paper notation
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> List[ProcessId]:
+        """Π — all processes, in a stable order."""
+        return list(self._graph.nodes)
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._graph.number_of_edges()
+
+    def neighbors(self, p: ProcessId) -> Tuple[ProcessId, ...]:
+        """Γ.p — neighbors of ``p`` in local-index order (port 1 first)."""
+        return self._ports[p]
+
+    def degree(self, p: ProcessId) -> int:
+        """δ.p — the degree of ``p``."""
+        return len(self._ports[p])
+
+    @property
+    def max_degree(self) -> int:
+        """Δ — the degree of the network."""
+        return max(self.degree(p) for p in self._graph.nodes)
+
+    @property
+    def diameter(self) -> int:
+        """D — the diameter (computed lazily, cached)."""
+        if self._diameter is None:
+            if self.n == 1:
+                self._diameter = 0
+            else:
+                self._diameter = nx.diameter(self._graph)
+        return self._diameter
+
+    # ------------------------------------------------------------------
+    # Port numbering
+    # ------------------------------------------------------------------
+    def neighbor_at(self, p: ProcessId, port: int) -> ProcessId:
+        """The neighbor of ``p`` behind local index ``port`` (1-based)."""
+        order = self._ports[p]
+        if not 1 <= port <= len(order):
+            raise TopologyError(
+                f"process {p!r} has no port {port} (degree {len(order)})"
+            )
+        return order[port - 1]
+
+    def port_to(self, p: ProcessId, q: ProcessId) -> int:
+        """The local index under which ``p`` sees its neighbor ``q``."""
+        try:
+            return self._port_of[p][q]
+        except KeyError:
+            raise TopologyError(f"{q!r} is not a neighbor of {p!r}") from None
+
+    def with_ports(self, ports: Mapping[ProcessId, Sequence[ProcessId]]) -> "Network":
+        """A copy of this network with (some) port maps replaced."""
+        merged = {p: list(self._ports[p]) for p in self._graph.nodes}
+        for p, order in ports.items():
+            merged[p] = list(order)
+        return Network(self._graph, merged)
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+    def edges(self) -> List[Tuple[ProcessId, ProcessId]]:
+        """All edges as (p, q) tuples."""
+        return list(self._graph.edges)
+
+    def are_neighbors(self, p: ProcessId, q: ProcessId) -> bool:
+        return self._graph.has_edge(p, q)
+
+    @property
+    def nx_graph(self) -> nx.Graph:
+        """A copy of the underlying :mod:`networkx` graph."""
+        return self._graph.copy()
+
+    def subgraph_view(self) -> nx.Graph:
+        """Read-only view of the underlying graph (no copy)."""
+        return self._graph
+
+    def __contains__(self, p: ProcessId) -> bool:
+        return p in self._graph
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return f"Network(n={self.n}, m={self.m}, Δ={self.max_degree})"
+
+
+def relabel_ports_randomly(network: Network, rng) -> Network:
+    """Shuffle every process's port numbering uniformly at random.
+
+    In anonymous networks the port numbering is not under the protocol's
+    control; randomizing it exercises protocols against arbitrary
+    labellings (and lets tests search for adversarial ones).
+    """
+    ports = {}
+    for p in network.processes:
+        order = list(network.neighbors(p))
+        rng.shuffle(order)
+        ports[p] = order
+    return network.with_ports(ports)
+
+
+def network_from_edges(
+    edges: Iterable[Tuple[ProcessId, ProcessId]],
+    ports: Optional[Mapping[ProcessId, Sequence[ProcessId]]] = None,
+) -> Network:
+    """Build a :class:`Network` from an edge list."""
+    g = nx.Graph()
+    g.add_edges_from(edges)
+    return Network(g, ports)

@@ -1,0 +1,31 @@
+"""Executable impossibility constructions (Theorems 1 and 2)."""
+
+from .demonstration import (
+    DemonstrationReport,
+    ImpossibilityDemonstration,
+    build_trap_configuration,
+)
+from .splicing import overlay_five_chain, splice_seven_chain, transplant_states
+from .strawman import FixedWatchColoring, OrientedWatchColoring
+from .theorem1 import (
+    theorem1_gadget_demo,
+    theorem1_overlay_demo,
+    theorem1_splice_demo,
+)
+from .theorem2 import theorem2_demo, theorem2_gadget_demo
+
+__all__ = [
+    "DemonstrationReport",
+    "FixedWatchColoring",
+    "ImpossibilityDemonstration",
+    "OrientedWatchColoring",
+    "build_trap_configuration",
+    "overlay_five_chain",
+    "splice_seven_chain",
+    "theorem1_gadget_demo",
+    "theorem1_overlay_demo",
+    "theorem1_splice_demo",
+    "theorem2_demo",
+    "theorem2_gadget_demo",
+    "transplant_states",
+]

@@ -1,0 +1,109 @@
+"""Shared harness for the impossibility demonstrations.
+
+A demonstration packages a victim protocol, a network (with adversarial
+port numbering), and a *trap configuration*: a silent configuration that
+violates the protocol's predicate on an edge neither endpoint ever
+reads.  :meth:`ImpossibilityDemonstration.verify` checks all three
+facts, both statically (the sound silence checker) and dynamically (the
+simulator runs on and nothing ever changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from ..core.scheduler import RandomSubsetScheduler, Scheduler
+from ..core.silence import is_silent
+from ..core.simulator import Simulator
+from ..core.state import Configuration
+from ..graphs.topology import Network
+from .strawman import FixedWatchColoring
+
+ProcessId = Hashable
+
+
+def build_trap_configuration(
+    protocol: FixedWatchColoring,
+    network: Network,
+    trap_edge: Tuple[ProcessId, ProcessId],
+) -> Configuration:
+    """A silent illegitimate configuration around an unwatched edge.
+
+    The trap endpoints share color 1; every other process is colored
+    greedily so that *all* remaining edges are proper.  Then every
+    watched neighbor differs (the strawman is disabled everywhere =
+    silent) while the unwatched trap edge violates the predicate.
+    """
+    p_trap, q_trap = trap_edge
+    unwatched = {frozenset(e) for e in protocol.unwatched_edges(network)}
+    if frozenset(trap_edge) not in unwatched:
+        raise ValueError(
+            f"edge {trap_edge!r} is watched by an endpoint; no trap there"
+        )
+    colors = {p_trap: 1, q_trap: 1}
+    for p in network.processes:
+        if p in colors:
+            continue
+        taken = {colors[q] for q in network.neighbors(p) if q in colors}
+        color = next(c for c in protocol.palette if c not in taken)
+        colors[p] = color
+    # Sanity: every non-trap edge must be proper (greedy guarantees it —
+    # the trap endpoints were colored first and identically).
+    for p, q in network.edges():
+        if frozenset((p, q)) != frozenset(trap_edge) and colors[p] == colors[q]:
+            raise AssertionError("trap construction produced a stray conflict")
+    return Configuration({p: {"C": colors[p]} for p in network.processes})
+
+
+@dataclass
+class DemonstrationReport:
+    """What the verification observed."""
+
+    silent: bool
+    legitimate: bool
+    steps_run: int
+    comm_changed: bool
+
+    @property
+    def demonstrates_impossibility(self) -> bool:
+        """Silent + illegitimate + frozen = the deadlock the proof builds."""
+        return self.silent and not self.legitimate and not self.comm_changed
+
+
+@dataclass
+class ImpossibilityDemonstration:
+    """A concrete instance of the Theorem 1 / Theorem 2 construction."""
+
+    name: str
+    protocol: FixedWatchColoring
+    network: Network
+    config: Configuration
+    trap_edge: Tuple[ProcessId, ProcessId]
+
+    def verify(
+        self,
+        rounds: int = 30,
+        seed: int = 0,
+        scheduler: Optional[Scheduler] = None,
+    ) -> DemonstrationReport:
+        """Check the trap statically and dynamically."""
+        silent = is_silent(self.protocol, self.network, self.config)
+        legitimate = self.protocol.is_legitimate(self.network, self.config)
+        sim = Simulator(
+            self.protocol,
+            self.network,
+            scheduler=scheduler or RandomSubsetScheduler(0.5),
+            seed=seed,
+            config=self.config,
+        )
+        specs_of = self.protocol.specs_of(self.network)
+        before = sim.config.comm_projection(specs_of)
+        sim.run_rounds(rounds)
+        after = sim.config.comm_projection(specs_of)
+        return DemonstrationReport(
+            silent=silent,
+            legitimate=legitimate,
+            steps_run=sim.step_index,
+            comm_changed=(before != after),
+        )

@@ -1,0 +1,89 @@
+"""Configuration splicing — the cut-and-paste of Figures 1, 4 and 5.
+
+Theorem 1's proof takes two silent configurations of the same gadget
+(γ'3 where p3's communication state is α3 and p3 never reads p4; γ'4
+where p4's state is α4 and p4 never reads its own unread side), then
+manufactures a new network whose processes copy states from the two
+configurations so that every process keeps the *local view* it had in
+its source configuration.  Nobody can distinguish the spliced world from
+the silent one it came from, so nobody moves — yet the copied α3/α4 pair
+sits on an edge neither endpoint reads, violating the predicate forever.
+
+The helpers here perform that state surgery generically (they copy full
+process states between configurations over an explicit correspondence)
+plus the two concrete constructions used by the demonstrations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Tuple
+
+from ..core.state import Configuration
+from ..graphs.gadgets import theorem1_spliced_chain
+from ..graphs.topology import Network
+
+ProcessId = Hashable
+
+
+def transplant_states(
+    source_configs: Mapping[str, Configuration],
+    correspondence: Mapping[ProcessId, Tuple[str, ProcessId]],
+) -> Configuration:
+    """Build a configuration by copying process states across networks.
+
+    ``correspondence[new_pid] = (config_key, old_pid)`` states that the
+    new process adopts the full state ``old_pid`` had in
+    ``source_configs[config_key]``.
+    """
+    states: Dict[ProcessId, Dict] = {}
+    for new_pid, (key, old_pid) in correspondence.items():
+        states[new_pid] = dict(source_configs[key].state_of(old_pid))
+    return Configuration(states)
+
+
+def overlay_five_chain(
+    gamma3: Configuration, gamma4: Configuration
+) -> Configuration:
+    """Figure 1(d)'s case: both unread ports face the 3–4 edge.
+
+    When p3 never reads p4 *and* p4 never reads p3, no new network is
+    needed: overlay γ'3's left half with γ'4's right half on the same
+    5-chain.  Everyone's watched view matches its source configuration.
+    """
+    return transplant_states(
+        {"A": gamma3, "B": gamma4},
+        {
+            1: ("A", 1),
+            2: ("A", 2),
+            3: ("A", 3),
+            4: ("B", 4),
+            5: ("B", 5),
+        },
+    )
+
+
+def splice_seven_chain(
+    gamma3: Configuration, gamma4: Configuration
+) -> Tuple[Network, Configuration]:
+    """Figure 1(c)'s case: p4's unread side faces p5 in γ'4.
+
+    Build the 7-chain p'1 … p'7 with p'1..p'3 copying γ'3's p1..p3 and
+    p'4..p'7 copying γ'4's p4, p3, p2, p1 (the B-half embeds reversed so
+    p'4's read side sees the state p4 used to read).  The caller must
+    supply the port numbering separately — see
+    :func:`repro.impossibility.theorem1.theorem1_spliced_ports`.
+    """
+    network = theorem1_spliced_chain()
+    config = transplant_states(
+        {"A": gamma3, "B": gamma4},
+        {
+            1: ("A", 1),
+            2: ("A", 2),
+            3: ("A", 3),
+            4: ("B", 4),
+            5: ("B", 3),
+            6: ("B", 2),
+            7: ("B", 1),
+        },
+    )
+    return network, config

@@ -1,0 +1,129 @@
+"""Strawman stable protocols for the impossibility demonstrations.
+
+Theorems 1 and 2 quantify over *all* ♦-k-stable / k-stable protocols; an
+executable artefact demonstrates them on concrete victims.  The
+strawmen here are honest attempts at communication-stable coloring:
+
+* :class:`FixedWatchColoring` — each process forever reads exactly one
+  fixed neighbor (1-stable by construction) and recolors deterministically
+  on a clash with that neighbor.  On a favourable port numbering this
+  protocol actually stabilizes (every edge watched by someone); the
+  theorem-1 construction exhibits port numberings and initial
+  configurations where it sits silent in an illegitimate configuration.
+* :class:`OrientedWatchColoring` — the theorem-2 victim: it may consult
+  the dag orientation (watching its smallest-port successor) and falls
+  back to a fixed port at sinks.  The construction shows that root +
+  orientation do not rescue k-stability: some edge is still unwatched
+  from both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from ..core.actions import GuardedAction
+from ..core.exceptions import TopologyError
+from ..core.protocol import Protocol
+from ..core.state import Configuration
+from ..core.variables import IntRange, VariableSpec, comm
+from ..graphs.gadgets import OrientedNetwork
+from ..graphs.topology import Network
+from ..predicates.coloring import coloring_predicate
+
+ProcessId = Hashable
+
+
+class FixedWatchColoring(Protocol):
+    """1-stable deterministic coloring: read one fixed port forever.
+
+    Parameters
+    ----------
+    palette_size:
+        Colors {1..palette_size}; use Δ+1 for parity with COLORING.
+    watch_port:
+        ``pid -> port`` map of the single neighbor each process reads;
+        defaults to port 1 everywhere.  The port choice is part of the
+        local algorithm — a 1-stable protocol must fix it from the
+        process state alone, and in an anonymous network the adversary
+        controls what hides behind each port.
+    """
+
+    name = "FIXED-WATCH-COLORING"
+    randomized = False
+
+    def __init__(
+        self,
+        palette_size: int,
+        watch_port: Optional[Mapping[ProcessId, int]] = None,
+    ):
+        if palette_size < 2:
+            raise ValueError("palette must contain at least 2 colors")
+        self.palette = IntRange(1, palette_size)
+        self._watch_port = dict(watch_port) if watch_port else {}
+
+    def watch_port_of(self, p: ProcessId) -> int:
+        return self._watch_port.get(p, 1)
+
+    # ------------------------------------------------------------------
+    def variables(self, network: Network, p: ProcessId) -> Tuple[VariableSpec, ...]:
+        degree = network.degree(p)
+        if degree < 1:
+            raise TopologyError("coloring requires every process to have a neighbor")
+        if not 1 <= self.watch_port_of(p) <= degree:
+            raise TopologyError(f"watch port of {p!r} out of range")
+        return (comm("C", self.palette),)
+
+    def actions(self) -> Tuple[GuardedAction, ...]:
+        def clash(ctx) -> bool:
+            return ctx.get("C") == ctx.read(self.watch_port_of(ctx.pid), "C")
+
+        def recolor(ctx) -> None:
+            # Deterministic palette rotation keeps the strawman
+            # replayable; any rule that only reacts to the watched
+            # neighbor falls to the same construction.
+            ctx.set("C", (ctx.get("C") % len(self.palette)) + 1)
+
+        return (GuardedAction("recolor", clash, recolor),)
+
+    def is_legitimate(self, network: Network, config: Configuration) -> bool:
+        return coloring_predicate(network, config, var="C")
+
+    def watched_edges(self, network: Network) -> set:
+        """Edges read by at least one endpoint (as frozensets)."""
+        watched = set()
+        for p in network.processes:
+            q = network.neighbor_at(p, self.watch_port_of(p))
+            watched.add(frozenset((p, q)))
+        return watched
+
+    def unwatched_edges(self, network: Network) -> list:
+        """Edges read by neither endpoint — the construction's target."""
+        watched = self.watched_edges(network)
+        return [
+            (p, q) for p, q in network.edges() if frozenset((p, q)) not in watched
+        ]
+
+
+class OrientedWatchColoring(FixedWatchColoring):
+    """Theorem-2 victim: may use the dag orientation to pick its watch.
+
+    Each process watches its smallest-port successor when it has one;
+    sinks (no successors) fall back to port 1.  The proof's observation
+    is embodied at the sinks: when both neighbors carry the same
+    orientation the orientation cannot break the tie, so the choice
+    degenerates to a fixed port and the construction applies.
+    """
+
+    name = "ORIENTED-WATCH-COLORING"
+
+    def __init__(self, palette_size: int, oriented: OrientedNetwork):
+        network = oriented.network
+        watch: Dict[ProcessId, int] = {}
+        for p in network.processes:
+            successors = oriented.succ.get(p, frozenset())
+            if successors:
+                watch[p] = min(network.port_to(p, q) for q in successors)
+            else:
+                watch[p] = 1
+        super().__init__(palette_size, watch)
+        self.oriented = oriented

@@ -1,0 +1,135 @@
+"""Theorem 1 demonstrations (anonymous networks).
+
+No ♦-k-stable neighbor-complete protocol exists for k < Δ in arbitrary
+anonymous networks.  The proof builds, for any such protocol, a silent
+configuration violating the predicate by splicing two legitimately
+silent configurations so the conflicting pair of communication states
+sits on an edge neither endpoint reads (Figure 1), then generalises to
+any Δ with the Δ²+1-node gadget (Figure 2).
+
+The demonstrations below run the construction concretely against the
+1-stable :class:`FixedWatchColoring` strawman:
+
+* :func:`theorem1_overlay_demo` — Figure 1(d)'s case (both unread sides
+  face the same edge): overlay two silent 5-chain configurations.
+* :func:`theorem1_splice_demo` — Figure 1(c)'s case: embed the second
+  configuration reversed into a 7-chain.
+* :func:`theorem1_gadget_demo` — the Δ-generalisation on the Δ²+1 gadget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.silence import is_silent
+from ..core.state import Configuration
+from ..graphs.gadgets import theorem1_chain, theorem1_gadget
+from ..graphs.topology import Network
+from .demonstration import (
+    ImpossibilityDemonstration,
+    build_trap_configuration,
+)
+from .splicing import overlay_five_chain, splice_seven_chain
+from .strawman import FixedWatchColoring
+
+
+def _five_chain_with_ports(p3_watches: int, p4_watches: int) -> Network:
+    """The 5-chain with p3/p4's port 1 aimed as requested."""
+    net = theorem1_chain()
+    ports = {
+        3: [p3_watches, 6 - p3_watches],  # neighbors of 3 are {2, 4}
+        4: [p4_watches, 8 - p4_watches],  # neighbors of 4 are {3, 5}
+    }
+    return net.with_ports(ports)
+
+
+def _config(colors: Dict[int, int]) -> Configuration:
+    return Configuration({p: {"C": c} for p, c in colors.items()})
+
+
+def theorem1_overlay_demo() -> ImpossibilityDemonstration:
+    """Figure 1(d): p3 never reads p4 and p4 never reads p3.
+
+    γ'3 = (2,3,1,2,1) is silent with α3 = color 1 at p3;
+    γ'4 = (2,3,2,1,3) is silent with α4 = color 1 at p4.
+    Overlaying left half of γ'3 with right half of γ'4 yields
+    (2,3,1,1,3): silent, but edge {3,4} is monochromatic forever.
+    """
+    network = _five_chain_with_ports(p3_watches=2, p4_watches=5)
+    protocol = FixedWatchColoring(palette_size=3)
+    gamma3 = _config({1: 2, 2: 3, 3: 1, 4: 2, 5: 1})
+    gamma4 = _config({1: 2, 2: 3, 3: 2, 4: 1, 5: 3})
+    for gamma in (gamma3, gamma4):
+        assert is_silent(protocol, network, gamma)
+        assert protocol.is_legitimate(network, gamma)
+    config = overlay_five_chain(gamma3, gamma4)
+    return ImpossibilityDemonstration(
+        name="theorem1-overlay",
+        protocol=protocol,
+        network=network,
+        config=config,
+        trap_edge=(3, 4),
+    )
+
+
+def theorem1_splice_demo() -> ImpossibilityDemonstration:
+    """Figure 1(c): p4's unread side faces p5, so a 7-chain is spliced.
+
+    γ'3 = (2,3,1,2,1) on a chain where p3 watches p2 (never reads p4);
+    γ'4 = (3,2,3,1,2) on a chain where p4 watches p3 (never reads p5).
+    The B-half embeds reversed: p'4..p'7 copy γ'4's p4, p3, p2, p1.
+    Every process keeps the watched view of its source configuration,
+    and the monochromatic edge {p'3, p'4} is read by neither endpoint.
+    """
+    network_a = _five_chain_with_ports(p3_watches=2, p4_watches=3)
+    protocol = FixedWatchColoring(palette_size=3)
+    gamma3 = _config({1: 2, 2: 3, 3: 1, 4: 2, 5: 1})
+    gamma4 = _config({1: 3, 2: 2, 3: 3, 4: 1, 5: 2})
+    for gamma in (gamma3, gamma4):
+        assert is_silent(protocol, network_a, gamma)
+        assert protocol.is_legitimate(network_a, gamma)
+
+    seven, config = splice_seven_chain(gamma3, gamma4)
+    # Port numbering of the spliced chain: each process's port 1 aims at
+    # the neighbor holding the state its source process used to watch.
+    seven = seven.with_ports(
+        {
+            2: [1, 3],
+            3: [2, 4],
+            4: [5, 3],  # γ'4's p4 watched p3, whose state now sits at p'5
+            5: [6, 4],  # γ'4's p3 watched p2 → p'6
+            6: [7, 5],  # γ'4's p2 watched p1 → p'7
+            7: [6],
+        }
+    )
+    return ImpossibilityDemonstration(
+        name="theorem1-splice",
+        protocol=protocol,
+        network=seven,
+        config=config,
+        trap_edge=(3, 4),
+    )
+
+
+def theorem1_gadget_demo(delta: int = 3) -> ImpossibilityDemonstration:
+    """The Δ-generalisation (Figure 2) on the Δ²+1-node gadget.
+
+    The center watches middle node 1, middle node 0 watches its first
+    pendant: the center–m0 edge is unwatched from both sides and traps a
+    monochromatic pair in an otherwise proper, silent configuration.
+    """
+    network = theorem1_gadget(delta)
+    watch = {"c": 2}  # center's port 2 = ("m", 1); its port 1 would watch m0
+    for i in range(delta):
+        watch[("m", i)] = 2  # port 1 is the center; port 2 the first pendant
+        for j in range(delta - 1):
+            watch[("l", i, j)] = 1
+    protocol = FixedWatchColoring(palette_size=delta + 1, watch_port=watch)
+    config = build_trap_configuration(protocol, network, ("c", ("m", 0)))
+    return ImpossibilityDemonstration(
+        name=f"theorem1-gadget-Δ{delta}",
+        protocol=protocol,
+        network=network,
+        config=config,
+        trap_edge=("c", ("m", 0)),
+    )

@@ -1,0 +1,80 @@
+"""Theorem 2 demonstrations (rooted, dag-oriented networks).
+
+Even a root plus a dag orientation does not enable k-stable
+neighbor-complete protocols for k < Δ.  The proof works on the Figure 3
+network: because the sinks see the *same* orientation on both incident
+edges, the orientation cannot tell them which neighbor to drop, and the
+splicing argument of Theorem 1 goes through (Figures 4 and 5).
+
+The demonstration runs the construction against
+:class:`OrientedWatchColoring` — a strawman that *does* use the
+orientation (it watches a successor when it has one) and falls back to a
+fixed port at sinks.  Some edge still ends up unwatched from both
+sides, and the trap configuration freezes the system in an illegitimate
+silent state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..graphs.gadgets import OrientedNetwork, theorem2_gadget, theorem2_network
+from .demonstration import (
+    ImpossibilityDemonstration,
+    build_trap_configuration,
+)
+from .strawman import OrientedWatchColoring
+
+
+def _first_unwatched_edge(
+    protocol: OrientedWatchColoring, oriented: OrientedNetwork
+) -> Tuple:
+    unwatched = protocol.unwatched_edges(oriented.network)
+    if not unwatched:
+        raise AssertionError(
+            "orientation-aware strawman watches every edge — "
+            "the gadget no longer demonstrates Theorem 2"
+        )
+    return unwatched[0]
+
+
+def theorem2_demo(
+    trap_edge: Optional[Tuple] = None,
+) -> ImpossibilityDemonstration:
+    """The construction on the Figure 3 network.
+
+    The orientation-aware strawman watches successors; with Δ = 2 every
+    process drops one neighbor, and at least one edge of the 6-cycle is
+    dropped from both sides.  A trap configuration on that edge is
+    silent and illegitimate forever — root and orientation included.
+    """
+    oriented = theorem2_network()
+    protocol = OrientedWatchColoring(
+        palette_size=oriented.network.max_degree + 1, oriented=oriented
+    )
+    edge = trap_edge or _first_unwatched_edge(protocol, oriented)
+    config = build_trap_configuration(protocol, oriented.network, edge)
+    return ImpossibilityDemonstration(
+        name="theorem2-fig3",
+        protocol=protocol,
+        network=oriented.network,
+        config=config,
+        trap_edge=edge,
+    )
+
+
+def theorem2_gadget_demo(delta: int = 3) -> ImpossibilityDemonstration:
+    """The Δ-generalisation (Figure 6): pendants preserve sources/sinks."""
+    oriented = theorem2_gadget(delta)
+    protocol = OrientedWatchColoring(
+        palette_size=oriented.network.max_degree + 1, oriented=oriented
+    )
+    edge = _first_unwatched_edge(protocol, oriented)
+    config = build_trap_configuration(protocol, oriented.network, edge)
+    return ImpossibilityDemonstration(
+        name=f"theorem2-gadget-Δ{delta}",
+        protocol=protocol,
+        network=oriented.network,
+        config=config,
+        trap_edge=edge,
+    )

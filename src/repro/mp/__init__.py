@@ -1,0 +1,5 @@
+"""Message-passing cost emulation (pull registers / push broadcasts)."""
+
+from .emulation import Message, PullEmulator, PushAccountant, TrafficStats
+
+__all__ = ["Message", "PullEmulator", "PushAccountant", "TrafficStats"]

@@ -1,0 +1,183 @@
+"""Message-passing emulation of the locally shared memory model.
+
+The paper's concluding remarks motivate the measures by "how much gain
+can be expected when implementing those protocols in a realistic
+model".  This module derives the message traffic a register-based
+implementation would generate, from the simulator's tracked reads:
+
+* **Pull emulation** — neighbor registers are remote: each tracked read
+  of neighbor q's state becomes a REQUEST/REPLY exchange on the link
+  (2 messages; the reply carries the register payload in bits).  A
+  1-efficient protocol thus costs 2 messages per activated process per
+  step, forever; a Δ-efficient one costs 2Δ.
+* **Push accounting** — the dual implementation: every communication
+  write is broadcast to all δ.p neighbors.  After stabilization a
+  silent protocol writes nothing, so the push load is zero — but a
+  *self-stabilizing* push system cannot stay quiet: without periodic
+  refresh a corrupted register is never re-examined, so implementations
+  refresh every T steps.  :class:`PushAccountant` charges both writes
+  and the refresh heartbeat, making the pull-vs-push trade measurable.
+
+Both are bookkeeping layers over the same paper-faithful simulator —
+they never change the execution, only price it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..core.metrics import StepRecord
+from ..core.protocol import Protocol
+from ..core.scheduler import Scheduler
+from ..core.simulator import Simulator
+
+ProcessId = Hashable
+Link = Tuple[str, str]  # (repr(src), repr(dst))
+
+
+@dataclass(frozen=True)
+class Message:
+    """One emulated message."""
+
+    step: int
+    kind: str  # "REQ" | "REP" | "PUSH" | "REFRESH"
+    src: ProcessId
+    dst: ProcessId
+    bits: float
+
+
+@dataclass
+class TrafficStats:
+    """Aggregated wire statistics."""
+
+    messages: int = 0
+    bits: float = 0.0
+    per_link: Dict[Link, int] = field(default_factory=dict)
+
+    def charge(self, msg: Message) -> None:
+        self.messages += 1
+        self.bits += msg.bits
+        key = (repr(msg.src), repr(msg.dst))
+        self.per_link[key] = self.per_link.get(key, 0) + 1
+
+    @property
+    def busiest_link_load(self) -> int:
+        return max(self.per_link.values(), default=0)
+
+
+class PullEmulator:
+    """Runs a protocol and prices each neighbor read as REQ/REP."""
+
+    REQUEST_BITS = 1.0  # a register identifier; constant-size control
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        network,
+        scheduler: Optional[Scheduler] = None,
+        seed: Optional[int] = None,
+        keep_log: bool = False,
+        log_limit: int = 10_000,
+    ):
+        self.sim = Simulator(protocol, network, scheduler=scheduler, seed=seed)
+        self.stats = TrafficStats()
+        self.keep_log = keep_log
+        self.log_limit = log_limit
+        self.log: List[Message] = []
+
+    def _charge(self, msg: Message) -> None:
+        self.stats.charge(msg)
+        if self.keep_log and len(self.log) < self.log_limit:
+            self.log.append(msg)
+
+    def step(self) -> StepRecord:
+        record = self.sim.step()
+        for p, ports in record.ports_read.items():
+            for port in ports:
+                q = self.sim.network.neighbor_at(p, port)
+                reply_bits = record.bits_read[p] / max(len(ports), 1)
+                self._charge(Message(record.index, "REQ", p, q, self.REQUEST_BITS))
+                self._charge(Message(record.index, "REP", q, p, reply_bits))
+        return record
+
+    def run_rounds(self, count: int) -> None:
+        target = self.sim.round_tracker.completed_rounds + count
+        while self.sim.round_tracker.completed_rounds < target:
+            self.step()
+
+    def run_until_silent(self, max_rounds: int = 50_000):
+        """Step to silence, pricing the whole convergence."""
+        while not self.sim.is_silent():
+            record = self.step()
+            if (
+                record.closed_round
+                and self.sim.round_tracker.completed_rounds > max_rounds
+            ):
+                from ..core.exceptions import ConvergenceError
+
+                raise ConvergenceError("pull emulation exceeded budget")
+        return self.sim._report(silent=True)
+
+    def messages_per_round(self, rounds: int = 10) -> float:
+        """Steady-state message load: run extra rounds, report the rate."""
+        before = self.stats.messages
+        self.run_rounds(rounds)
+        return (self.stats.messages - before) / rounds
+
+
+class PushAccountant:
+    """Prices a run under the push implementation (write-broadcast).
+
+    Every communication write broadcasts the process's comm state to all
+    neighbors; every ``refresh_period`` steps each process re-broadcasts
+    even without writes (the self-stabilization heartbeat — without it a
+    transiently corrupted register would never be re-read).
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        network,
+        scheduler: Optional[Scheduler] = None,
+        seed: Optional[int] = None,
+        refresh_period: int = 10,
+    ):
+        if refresh_period < 1:
+            raise ValueError("refresh_period must be ≥ 1")
+        self.sim = Simulator(protocol, network, scheduler=scheduler, seed=seed)
+        self.refresh_period = refresh_period
+        self.stats = TrafficStats()
+        self._specs_of = protocol.specs_of(network)
+        self._comm_bits = {
+            p: sum(
+                s.domain.bits for s in self._specs_of[p] if s.readable_by_neighbors
+            )
+            for p in network.processes
+        }
+
+    def _broadcast(self, p, step: int, kind: str) -> None:
+        for q in self.sim.network.neighbors(p):
+            self.stats.charge(Message(step, kind, p, q, self._comm_bits[p]))
+
+    def step(self) -> StepRecord:
+        before = self.sim.config.comm_projection(self._specs_of)
+        record = self.sim.step()
+        after = self.sim.config.comm_projection(self._specs_of)
+        for p in record.activated:
+            if before[p] != after[p]:
+                self._broadcast(p, record.index, "PUSH")
+        if record.index and record.index % self.refresh_period == 0:
+            for p in self.sim.network.processes:
+                self._broadcast(p, record.index, "REFRESH")
+        return record
+
+    def run_rounds(self, count: int) -> None:
+        target = self.sim.round_tracker.completed_rounds + count
+        while self.sim.round_tracker.completed_rounds < target:
+            self.step()
+
+    def messages_per_round(self, rounds: int = 10) -> float:
+        before = self.stats.messages
+        self.run_rounds(rounds)
+        return (self.stats.messages - before) / rounds

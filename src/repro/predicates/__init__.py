@@ -1,0 +1,65 @@
+"""Legitimacy predicates and the neighbor-completeness checker."""
+
+from .coloring import (
+    coloring_predicate,
+    colors_used,
+    conflict_count,
+    conflicting_edges,
+)
+from .matching import (
+    is_married,
+    is_matching,
+    is_maximal_matching,
+    matched_edges,
+    matching_predicate,
+    married_processes,
+    pr_target,
+)
+from .mis import (
+    DOMINATED,
+    DOMINATOR,
+    dominators,
+    independence_violations,
+    is_independent_set,
+    is_maximal_independent_set,
+    maximality_violations,
+    mis_predicate,
+)
+from .neighbor_complete import (
+    NeighborCompletenessWitness,
+    collect_silent_comm_states,
+    coloring_pair_violates,
+    enumerate_silent_configurations,
+    find_neighbor_completeness_witness,
+    matching_pair_violates,
+    mis_pair_violates,
+)
+
+__all__ = [
+    "DOMINATED",
+    "DOMINATOR",
+    "NeighborCompletenessWitness",
+    "collect_silent_comm_states",
+    "coloring_pair_violates",
+    "coloring_predicate",
+    "colors_used",
+    "conflict_count",
+    "conflicting_edges",
+    "dominators",
+    "enumerate_silent_configurations",
+    "find_neighbor_completeness_witness",
+    "independence_violations",
+    "is_independent_set",
+    "is_married",
+    "is_matching",
+    "is_maximal_independent_set",
+    "is_maximal_matching",
+    "matched_edges",
+    "matching_pair_violates",
+    "matching_predicate",
+    "married_processes",
+    "maximality_violations",
+    "mis_pair_violates",
+    "mis_predicate",
+    "pr_target",
+]

@@ -1,0 +1,29 @@
+"""The paper's 1-efficient protocols, their Δ-efficient baselines, and
+layered composition helpers."""
+
+from .baselines import FullReadColoring, FullReadMatching, FullReadMIS
+from .coloring import ColoringProtocol
+from .kefficient import WindowColoringProtocol, WindowMISProtocol
+from .composite import (
+    ColoringStage,
+    colors_from_coloring_protocol,
+    matching_over_coloring,
+    mis_over_coloring,
+)
+from .matching import MatchingProtocol
+from .mis import MISProtocol
+
+__all__ = [
+    "ColoringProtocol",
+    "ColoringStage",
+    "WindowColoringProtocol",
+    "WindowMISProtocol",
+    "FullReadColoring",
+    "FullReadMIS",
+    "FullReadMatching",
+    "MISProtocol",
+    "MatchingProtocol",
+    "colors_from_coloring_protocol",
+    "matching_over_coloring",
+    "mis_over_coloring",
+]

@@ -1,0 +1,7 @@
+"""Δ-efficient baseline protocols (the traditional comparison points)."""
+
+from .coloring_full import FullReadColoring
+from .matching_full import FullReadMatching
+from .mis_full import FullReadMIS
+
+__all__ = ["FullReadColoring", "FullReadMIS", "FullReadMatching"]

@@ -1,0 +1,91 @@
+"""Protocol COLORING (paper Figure 7).
+
+A 1-efficient randomized silent protocol that stabilizes to the vertex
+coloring predicate with probability 1 in arbitrary anonymous networks::
+
+    Communication Variable:  C.p ∈ {1 .. Δ+1}
+    Internal Variable:       cur.p ∈ [1 .. δ.p]
+    Actions:
+      (C.p = C.(cur.p)) → C.p ← random({1..Δ+1}); cur.p ← (cur.p mod δ.p)+1
+      (C.p ≠ C.(cur.p)) → cur.p ← (cur.p mod δ.p)+1
+
+Each process checks one neighbor per step in round-robin order; on a
+color clash it redraws uniformly from the Δ+1 palette.  Δ+1 colors are
+the minimum for arbitrary networks (a Δ-clique needs them all).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+from ..core.actions import GuardedAction
+from ..core.exceptions import TopologyError
+from ..core.protocol import Protocol
+from ..core.state import Configuration
+from ..core.variables import IntRange, VariableSpec, comm, internal
+from ..graphs.topology import Network
+from ..predicates.coloring import coloring_predicate
+
+ProcessId = Hashable
+
+
+class ColoringProtocol(Protocol):
+    """The paper's Protocol COLORING, parameterised by the palette size.
+
+    Parameters
+    ----------
+    palette_size:
+        Number of colors; defaults to Δ+1 when built via
+        :meth:`for_network`.  The protocol is correct for any size
+        ≥ Δ+1 (larger palettes converge faster).
+    """
+
+    name = "COLORING"
+    randomized = True
+
+    def __init__(self, palette_size: int):
+        if palette_size < 2:
+            raise ValueError("palette must contain at least 2 colors")
+        self.palette = IntRange(1, palette_size)
+
+    @classmethod
+    def for_network(cls, network: Network, extra_colors: int = 0) -> "ColoringProtocol":
+        """The canonical Δ+1-color instance for ``network``."""
+        return cls(network.max_degree + 1 + extra_colors)
+
+    # ------------------------------------------------------------------
+    def variables(self, network: Network, p: ProcessId) -> Tuple[VariableSpec, ...]:
+        degree = network.degree(p)
+        if degree < 1:
+            raise TopologyError("COLORING requires every process to have a neighbor")
+        return (
+            comm("C", self.palette),
+            internal("cur", IntRange(1, degree)),
+        )
+
+    def actions(self) -> Tuple[GuardedAction, ...]:
+        def clash(ctx) -> bool:
+            return ctx.get("C") == ctx.read(ctx.get("cur"), "C")
+
+        def recolor(ctx) -> None:
+            ctx.set("C", ctx.random_choice(self.palette))
+            ctx.advance("cur")
+
+        def no_clash(ctx) -> bool:
+            return ctx.get("C") != ctx.read(ctx.get("cur"), "C")
+
+        def advance(ctx) -> None:
+            ctx.advance("cur")
+
+        return (
+            GuardedAction("recolor", clash, recolor),
+            GuardedAction("advance", no_clash, advance),
+        )
+
+    def is_legitimate(self, network: Network, config: Configuration) -> bool:
+        return coloring_predicate(network, config, var="C")
+
+    # ------------------------------------------------------------------
+    def color_of(self, config: Configuration, p: ProcessId) -> int:
+        """The paper's output function ``color.p`` — the value of C.p."""
+        return config.get(p, "C")

@@ -1,0 +1,63 @@
+"""Layered protocol composition.
+
+The paper's MIS and MATCHING assume a locally identified network and
+note that the local coloring "allows to deduce a dag-orientation".  This
+module realises the natural pipeline: run protocol COLORING to silence,
+harvest the stabilized colors as the local-identifier constants, and
+instantiate MIS or MATCHING on top — an end-to-end anonymous-network
+construction using only the paper's own protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.scheduler import Scheduler
+from ..core.simulator import Simulator
+from ..graphs.coloring import Coloring, assert_local_identifiers
+from ..graphs.topology import Network
+from .coloring import ColoringProtocol
+from .matching import MatchingProtocol
+from .mis import MISProtocol
+
+
+@dataclass
+class ColoringStage:
+    """Result of the coloring stage of the pipeline."""
+
+    colors: Coloring
+    rounds: int
+    steps: int
+
+
+def colors_from_coloring_protocol(
+    network: Network,
+    seed: int = 0,
+    scheduler: Optional[Scheduler] = None,
+    max_rounds: int = 50_000,
+    extra_colors: int = 0,
+) -> ColoringStage:
+    """Run COLORING to silence and extract the stabilized colors."""
+    protocol = ColoringProtocol.for_network(network, extra_colors=extra_colors)
+    sim = Simulator(protocol, network, scheduler=scheduler, seed=seed)
+    report = sim.run_until_silent(max_rounds=max_rounds)
+    colors = {p: sim.config.get(p, "C") for p in network.processes}
+    assert_local_identifiers(network, colors)
+    return ColoringStage(colors=colors, rounds=report.rounds, steps=report.steps)
+
+
+def mis_over_coloring(
+    network: Network, seed: int = 0, scheduler: Optional[Scheduler] = None
+) -> MISProtocol:
+    """An MIS instance whose identifier colors come from COLORING."""
+    stage = colors_from_coloring_protocol(network, seed=seed, scheduler=scheduler)
+    return MISProtocol(network, stage.colors)
+
+
+def matching_over_coloring(
+    network: Network, seed: int = 0, scheduler: Optional[Scheduler] = None
+) -> MatchingProtocol:
+    """A MATCHING instance whose identifier colors come from COLORING."""
+    stage = colors_from_coloring_protocol(network, seed=seed, scheduler=scheduler)
+    return MatchingProtocol(network, stage.colors)

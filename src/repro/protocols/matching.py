@@ -1,0 +1,181 @@
+"""Protocol MATCHING (paper Figure 10).
+
+A 1-efficient deterministic silent protocol that stabilizes to the
+maximal matching predicate in locally identified networks.  Derived
+from Manne, Mjelde, Pilard & Tixeuil (Sirocco 2007) with the round-robin
+``cur`` pointer supplying the 1-efficiency::
+
+    Communication Variables:  M.p ∈ {true, false},  PR.p ∈ {0 .. δ.p}
+    Communication Constant:   C.p (color)
+    Internal Variable:        cur.p ∈ [1 .. δ.p]
+    Predicate:  PRmarried(p) ≡ (PR.p = cur.p ∧ PR.(cur.p) = p)
+    Actions (priority order):
+      (PR.p ∉ {0, cur.p})                                  → PR.p ← cur.p
+      (M.p ≠ PRmarried(p))                                 → M.p ← PRmarried(p)
+      (PR.p = 0 ∧ PR.(cur.p) = p)                          → PR.p ← cur.p
+      (PR.p = cur.p ∧ PR.(cur.p) ≠ p
+         ∧ (M.(cur.p) ∨ C.(cur.p) ≺ C.p))                  → PR.p ← 0
+      (PR.p = 0 ∧ PR.(cur.p) = 0 ∧ C.p ≺ C.(cur.p)
+         ∧ ¬M.(cur.p))                                     → PR.p ← cur.p
+      (PR.p = 0 ∧ (PR.(cur.p) ≠ 0 ∨ C.(cur.p) ≺ C.p
+         ∨ M.(cur.p)))                                     → cur.p ← (cur.p mod δ.p)+1
+
+``PR`` values are local port indices; "PR.(cur.p) = p" tests whether the
+pointed neighbor's pointer leads back across the shared edge, which the
+simulator resolves through the port maps of both endpoints.
+
+Convergence: at most (Δ+1)·n + 2 rounds (Lemma 9) — the married set only
+grows, and each maximal connected set of unmarried processes loses two
+members every 2Δ+2 rounds (Lemma 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from ..core.actions import GuardedAction
+from ..core.exceptions import TopologyError
+from ..core.protocol import Protocol
+from ..core.state import Configuration
+from ..core.variables import BOOL, IntRange, VariableSpec, const, comm, internal
+from ..graphs.coloring import Coloring, assert_local_identifiers
+from ..graphs.topology import Network
+from ..predicates.matching import matched_edges, matching_predicate
+
+ProcessId = Hashable
+
+
+class MatchingProtocol(Protocol):
+    """The paper's Protocol MATCHING over a local-identifier coloring."""
+
+    name = "MATCHING"
+    randomized = False
+
+    def __init__(self, network: Network, colors: Coloring):
+        assert_local_identifiers(network, colors)
+        self.colors: Dict[ProcessId, int] = dict(colors)
+        self._color_domain = IntRange(
+            min(self.colors.values()), max(self.colors.values())
+        )
+
+    # ------------------------------------------------------------------
+    def variables(self, network: Network, p: ProcessId) -> Tuple[VariableSpec, ...]:
+        degree = network.degree(p)
+        if degree < 1:
+            raise TopologyError("MATCHING requires every process to have a neighbor")
+        return (
+            comm("M", BOOL),
+            comm("PR", IntRange(0, degree)),
+            const("C", self._color_domain),
+            internal("cur", IntRange(1, degree)),
+        )
+
+    def constant_values(self, network: Network, p: ProcessId) -> Dict[str, int]:
+        return {"C": self.colors[p]}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _points_back(ctx, port: int) -> bool:
+        """PR.(port) = p — does the pointed neighbor's PR cross back?"""
+        pr_q = ctx.read(port, "PR")
+        if pr_q == 0:
+            return False
+        q = ctx.network.neighbor_at(ctx.pid, port)
+        return ctx.network.neighbor_at(q, pr_q) == ctx.pid
+
+    @classmethod
+    def _pr_married(cls, ctx) -> bool:
+        """PRmarried(p) ≡ PR.p = cur.p ∧ PR.(cur.p) = p."""
+        cur = ctx.get("cur")
+        if ctx.get("PR") != cur:
+            return False
+        return cls._points_back(ctx, cur)
+
+    def actions(self) -> Tuple[GuardedAction, ...]:
+        points_back = self._points_back
+        pr_married = self._pr_married
+
+        # 1. (PR.p ∉ {0, cur.p}) → PR.p ← cur.p
+        def realign_guard(ctx) -> bool:
+            return ctx.get("PR") not in (0, ctx.get("cur"))
+
+        def realign_effect(ctx) -> None:
+            ctx.set("PR", ctx.get("cur"))
+
+        # 2. (M.p ≠ PRmarried(p)) → M.p ← PRmarried(p)
+        def publish_guard(ctx) -> bool:
+            return ctx.get("M") != pr_married(ctx)
+
+        def publish_effect(ctx) -> None:
+            ctx.set("M", pr_married(ctx))
+
+        # 3. (PR.p = 0 ∧ PR.(cur.p) = p) → PR.p ← cur.p
+        def accept_guard(ctx) -> bool:
+            return ctx.get("PR") == 0 and points_back(ctx, ctx.get("cur"))
+
+        def accept_effect(ctx) -> None:
+            ctx.set("PR", ctx.get("cur"))
+
+        # 4. (PR.p = cur.p ∧ PR.(cur.p) ≠ p ∧ (M.(cur.p) ∨ C.(cur.p) ≺ C.p))
+        #        → PR.p ← 0
+        def abandon_guard(ctx) -> bool:
+            cur = ctx.get("cur")
+            if ctx.get("PR") != cur or points_back(ctx, cur):
+                return False
+            return ctx.read(cur, "M") or ctx.read(cur, "C") < ctx.get("C")
+
+        def abandon_effect(ctx) -> None:
+            ctx.set("PR", 0)
+
+        # 5. (PR.p = 0 ∧ PR.(cur.p) = 0 ∧ C.p ≺ C.(cur.p) ∧ ¬M.(cur.p))
+        #        → PR.p ← cur.p
+        def propose_guard(ctx) -> bool:
+            cur = ctx.get("cur")
+            return (
+                ctx.get("PR") == 0
+                and ctx.read(cur, "PR") == 0
+                and ctx.get("C") < ctx.read(cur, "C")
+                and not ctx.read(cur, "M")
+            )
+
+        def propose_effect(ctx) -> None:
+            ctx.set("PR", ctx.get("cur"))
+
+        # 6. (PR.p = 0 ∧ (PR.(cur.p) ≠ 0 ∨ C.(cur.p) ≺ C.p ∨ M.(cur.p)))
+        #        → cur.p ← (cur.p mod δ.p)+1
+        def seek_guard(ctx) -> bool:
+            cur = ctx.get("cur")
+            if ctx.get("PR") != 0:
+                return False
+            return (
+                ctx.read(cur, "PR") != 0
+                or ctx.read(cur, "C") < ctx.get("C")
+                or ctx.read(cur, "M")
+            )
+
+        def seek_effect(ctx) -> None:
+            ctx.advance("cur")
+
+        return (
+            GuardedAction("realign", realign_guard, realign_effect),
+            GuardedAction("publish", publish_guard, publish_effect),
+            GuardedAction("accept", accept_guard, accept_effect),
+            GuardedAction("abandon", abandon_guard, abandon_effect),
+            GuardedAction("propose", propose_guard, propose_effect),
+            GuardedAction("seek", seek_guard, seek_effect),
+        )
+
+    def is_legitimate(self, network: Network, config: Configuration) -> bool:
+        return matching_predicate(network, config)
+
+    # ------------------------------------------------------------------
+    def in_matching(
+        self, network: Network, config: Configuration, p: ProcessId, q: ProcessId
+    ) -> bool:
+        """The paper's output ``inMM[q].p ∨ inMM[p].q`` for edge {p, q}."""
+        return (p, q) in matched_edges(network, config) or (q, p) in matched_edges(
+            network, config
+        )
+
+    def matching(self, network: Network, config: Configuration) -> List[Tuple]:
+        return matched_edges(network, config)

@@ -1,0 +1,116 @@
+"""Protocol MIS (paper Figure 8).
+
+A 1-efficient deterministic silent protocol that stabilizes to the
+maximal independent set predicate in *locally identified* networks —
+each process carries a communication constant color ``C.p`` distinct
+from every neighbor's, totally ordered by ``≺``::
+
+    Communication Variable:  S.p ∈ {Dominator, dominated}
+    Communication Constant:  C.p (color)
+    Internal Variable:       cur.p ∈ [1 .. δ.p]
+    Actions (priority order):
+      (S.(cur.p)=Dominator ∧ C.(cur.p) ≺ C.p ∧ S.p=Dominator)
+          → S.p ← dominated
+      ((S.(cur.p)=dominated ∨ C.p ≺ C.(cur.p)) ∧ S.p=dominated)
+          → S.p ← Dominator; cur.p ← (cur.p mod δ.p)+1
+      (S.p=Dominator)
+          → cur.p ← (cur.p mod δ.p)+1
+
+Convergence: at most Δ·#C rounds (Lemma 4), by induction over the color
+ranks — the colors' order induces a dag (Theorem 4) along which
+decisions become final bottom-up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Set, Tuple
+
+from ..core.actions import GuardedAction
+from ..core.exceptions import TopologyError
+from ..core.protocol import Protocol
+from ..core.state import Configuration
+from ..core.variables import FiniteSet, IntRange, VariableSpec, const, comm, internal
+from ..graphs.coloring import Coloring, assert_local_identifiers
+from ..graphs.topology import Network
+from ..predicates.mis import DOMINATED, DOMINATOR, mis_predicate
+
+ProcessId = Hashable
+
+S_DOMAIN = FiniteSet((DOMINATOR, DOMINATED))
+
+
+class MISProtocol(Protocol):
+    """The paper's Protocol MIS over a given local-identifier coloring."""
+
+    name = "MIS"
+    randomized = False
+
+    def __init__(self, network: Network, colors: Coloring):
+        assert_local_identifiers(network, colors)
+        self.colors: Dict[ProcessId, int] = dict(colors)
+        self._color_domain = IntRange(
+            min(self.colors.values()), max(self.colors.values())
+        )
+
+    # ------------------------------------------------------------------
+    def variables(self, network: Network, p: ProcessId) -> Tuple[VariableSpec, ...]:
+        degree = network.degree(p)
+        if degree < 1:
+            raise TopologyError("MIS requires every process to have a neighbor")
+        return (
+            comm("S", S_DOMAIN),
+            const("C", self._color_domain),
+            internal("cur", IntRange(1, degree)),
+        )
+
+    def constant_values(self, network: Network, p: ProcessId) -> Dict[str, int]:
+        return {"C": self.colors[p]}
+
+    def actions(self) -> Tuple[GuardedAction, ...]:
+        def yield_guard(ctx) -> bool:
+            if ctx.get("S") != DOMINATOR:
+                return False
+            port = ctx.get("cur")
+            return (
+                ctx.read(port, "S") == DOMINATOR
+                and ctx.read(port, "C") < ctx.get("C")
+            )
+
+        def yield_effect(ctx) -> None:
+            ctx.set("S", DOMINATED)
+
+        def claim_guard(ctx) -> bool:
+            if ctx.get("S") != DOMINATED:
+                return False
+            port = ctx.get("cur")
+            return (
+                ctx.read(port, "S") == DOMINATED
+                or ctx.get("C") < ctx.read(port, "C")
+            )
+
+        def claim_effect(ctx) -> None:
+            ctx.set("S", DOMINATOR)
+            ctx.advance("cur")
+
+        def patrol_guard(ctx) -> bool:
+            return ctx.get("S") == DOMINATOR
+
+        def patrol_effect(ctx) -> None:
+            ctx.advance("cur")
+
+        return (
+            GuardedAction("yield", yield_guard, yield_effect),
+            GuardedAction("claim", claim_guard, claim_effect),
+            GuardedAction("patrol", patrol_guard, patrol_effect),
+        )
+
+    def is_legitimate(self, network: Network, config: Configuration) -> bool:
+        return mis_predicate(network, config, var="S")
+
+    # ------------------------------------------------------------------
+    def in_mis(self, config: Configuration, p: ProcessId) -> bool:
+        """The paper's output function ``inMIS.p``."""
+        return config.get(p, "S") == DOMINATOR
+
+    def independent_set(self, network: Network, config: Configuration) -> Set[ProcessId]:
+        return {p for p in network.processes if self.in_mis(config, p)}

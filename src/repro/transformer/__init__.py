@@ -1,0 +1,17 @@
+"""Prototype local-checking → 1-efficient transformer (paper §6)."""
+
+from .round_robin import (
+    LocalCheckingSpec,
+    OneEfficientProtocol,
+    coloring_spec,
+    independence_spec,
+    make_one_efficient,
+)
+
+__all__ = [
+    "LocalCheckingSpec",
+    "OneEfficientProtocol",
+    "coloring_spec",
+    "independence_spec",
+    "make_one_efficient",
+]

@@ -1,0 +1,19 @@
+"""Exhaustive small-model verification of stabilization claims."""
+
+from .exhaustive import (
+    ClosureReport,
+    ConvergenceReport,
+    enumerate_configurations,
+    exact_worst_case_rounds,
+    verify_closure,
+    verify_convergence_round_robin,
+)
+
+__all__ = [
+    "ClosureReport",
+    "ConvergenceReport",
+    "enumerate_configurations",
+    "exact_worst_case_rounds",
+    "verify_closure",
+    "verify_convergence_round_robin",
+]

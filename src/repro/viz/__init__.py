@@ -1,0 +1,23 @@
+"""ASCII visualization helpers (no plotting dependencies)."""
+
+from .ascii import (
+    degree_table,
+    histogram,
+    render_chain_colors,
+    render_coloring,
+    render_matching,
+    render_mis,
+    render_network,
+    sparkline,
+)
+
+__all__ = [
+    "degree_table",
+    "histogram",
+    "render_chain_colors",
+    "render_coloring",
+    "render_matching",
+    "render_mis",
+    "render_network",
+    "sparkline",
+]

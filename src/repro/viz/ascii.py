@@ -1,0 +1,115 @@
+"""Dependency-free ASCII rendering of networks and configurations.
+
+Terminal-friendly views for examples and debugging: node tables with
+protocol outputs, adjacency summaries, sparklines and histograms for
+convergence series.  Nothing here is required by the core library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence
+
+from ..core.state import Configuration
+from ..graphs.topology import Network
+from ..predicates.matching import matched_edges
+from ..predicates.mis import DOMINATOR
+
+ProcessId = Hashable
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def render_network(network: Network, max_rows: int = 30) -> str:
+    """Adjacency summary, one process per line."""
+    lines = [f"n={network.n} m={network.m} Δ={network.max_degree}"]
+    for i, p in enumerate(network.processes):
+        if i >= max_rows:
+            lines.append(f"… ({network.n - max_rows} more)")
+            break
+        neighbors = ", ".join(repr(q) for q in network.neighbors(p))
+        lines.append(f"  {p!r} (δ={network.degree(p)}): {neighbors}")
+    return "\n".join(lines)
+
+
+def render_coloring(network: Network, config: Configuration, var: str = "C") -> str:
+    """Colors per process, flagging conflicting edges."""
+    lines = ["colors:"]
+    for p in network.processes:
+        clashes = [
+            q for q in network.neighbors(p)
+            if config.get(q, var) == config.get(p, var)
+        ]
+        flag = f"  !! clashes {clashes}" if clashes else ""
+        lines.append(f"  {p!r}: color {config.get(p, var)}{flag}")
+    return "\n".join(lines)
+
+
+def render_mis(network: Network, config: Configuration, var: str = "S") -> str:
+    """Dominators marked ●, dominated ○ (Figure 9's convention)."""
+    lines = ["independent set (●=Dominator ○=dominated):"]
+    for p in network.processes:
+        mark = "●" if config.get(p, var) == DOMINATOR else "○"
+        lines.append(f"  {mark} {p!r}")
+    return "\n".join(lines)
+
+
+def render_matching(network: Network, config: Configuration) -> str:
+    """Matched pairs (Figure 11's bold edges) plus free processes."""
+    edges = matched_edges(network, config)
+    covered = {p for e in edges for p in e}
+    lines = ["matching (bold edges of Fig. 11):"]
+    for p, q in edges:
+        lines.append(f"  {p!r} ═══ {q!r}")
+    free = [p for p in network.processes if p not in covered]
+    if free:
+        lines.append(f"  free: {', '.join(repr(p) for p in free)}")
+    return "\n".join(lines)
+
+
+def render_chain_colors(network: Network, config: Configuration, var: str = "C") -> str:
+    """Compact one-line view for chains/rings: 2-3-1-2-1."""
+    return "-".join(str(config.get(p, var)) for p in network.processes)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of a series (e.g. conflict decay)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def histogram(values: Sequence[float], bins: int = 10, width: int = 40) -> str:
+    """Horizontal ASCII histogram (used by convergence studies)."""
+    if not values:
+        return "(no data)"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return f"{lo:g}: {'#' * width} ({len(values)})"
+    step = (hi - lo) / bins
+    counts = [0] * bins
+    for v in values:
+        idx = min(int((v - lo) / step), bins - 1)
+        counts[idx] += 1
+    peak = max(counts)
+    lines: List[str] = []
+    for i, count in enumerate(counts):
+        left = lo + i * step
+        bar = "#" * max(1 if count else 0, round(count / peak * width))
+        lines.append(f"{left:10.1f} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def degree_table(network: Network) -> Dict[int, int]:
+    """Degree histogram of the topology (δ -> count)."""
+    table: Dict[int, int] = {}
+    for p in network.processes:
+        table[network.degree(p)] = table.get(network.degree(p), 0) + 1
+    return dict(sorted(table.items()))

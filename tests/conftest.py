@@ -1,0 +1,69 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    BoundedFairScheduler,
+    CentralScheduler,
+    RandomSubsetScheduler,
+    RoundRobinScheduler,
+    SynchronousScheduler,
+)
+from repro.graphs import (
+    caterpillar,
+    chain,
+    clique,
+    grid,
+    greedy_coloring,
+    random_connected,
+    random_tree,
+    ring,
+    star,
+)
+
+SCHEDULER_FACTORIES = {
+    "synchronous": SynchronousScheduler,
+    "central": CentralScheduler,
+    "random-subset": lambda: RandomSubsetScheduler(0.5),
+    "round-robin": RoundRobinScheduler,
+    "bounded-fair": lambda: BoundedFairScheduler(bound=16, burst=3),
+}
+
+
+@pytest.fixture(params=sorted(SCHEDULER_FACTORIES))
+def any_scheduler(request):
+    """One instance of every scheduler family."""
+    return SCHEDULER_FACTORIES[request.param]()
+
+
+def small_networks():
+    """A diverse family of small test topologies."""
+    return {
+        "chain5": chain(5),
+        "ring6": ring(6),
+        "star4": star(4),
+        "clique4": clique(4),
+        "grid3x3": grid(3, 3),
+        "tree10": random_tree(10, seed=7),
+        "gnp12": random_connected(12, 0.3, seed=11),
+        "caterpillar": caterpillar(4, 2),
+    }
+
+
+@pytest.fixture(params=sorted(small_networks()))
+def small_network(request):
+    return small_networks()[request.param]
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+def colored(network):
+    """Convenience: a proper coloring for locally-identified protocols."""
+    return greedy_coloring(network)

@@ -1,0 +1,160 @@
+"""Tests for guarded-action priority semantics (paper §2)."""
+
+import pytest
+
+from repro.core import Configuration, GuardedAction, Simulator, first_enabled
+from repro.core.actions import Actions
+from repro.core.context import StepContext
+from repro.core.protocol import Protocol
+from repro.core.variables import IntRange, comm, internal
+from repro.graphs import chain
+
+
+class TwoRuleProtocol(Protocol):
+    """Both guards true everywhere: priority must pick the first."""
+
+    name = "two-rule"
+    randomized = False
+
+    def variables(self, network, p):
+        return (comm("X", IntRange(0, 9)),)
+
+    def actions(self):
+        return (
+            GuardedAction("first", lambda ctx: True,
+                          lambda ctx: ctx.set("X", 1)),
+            GuardedAction("second", lambda ctx: True,
+                          lambda ctx: ctx.set("X", 2)),
+        )
+
+    def is_legitimate(self, network, config):
+        return all(config.get(p, "X") == 1 for p in network.processes)
+
+
+class TestPriority:
+    def test_first_enabled_respects_order(self):
+        net = chain(2)
+        proto = TwoRuleProtocol()
+        config = Configuration({0: {"X": 0}, 1: {"X": 0}})
+        ctx = StepContext(0, net, config, proto.specs_of(net))
+        action = first_enabled(proto.actions(), ctx)
+        assert action is not None and action.name == "first"
+
+    def test_simulator_always_fires_highest_priority(self):
+        net = chain(2)
+        proto = TwoRuleProtocol()
+        config = Configuration({0: {"X": 0}, 1: {"X": 0}})
+        sim = Simulator(proto, net, seed=0, config=config)
+        record = sim.step()
+        assert set(record.executed.values()) == {"first"}
+        assert sim.config.get(0, "X") == 1
+
+    def test_lower_priority_fires_when_higher_disabled(self):
+        net = chain(2)
+
+        class Gated(TwoRuleProtocol):
+            def actions(self):
+                return (
+                    GuardedAction("first", lambda ctx: ctx.get("X") == 7,
+                                  lambda ctx: ctx.set("X", 1)),
+                    GuardedAction("second", lambda ctx: True,
+                                  lambda ctx: ctx.set("X", 2)),
+                )
+
+        proto = Gated()
+        config = Configuration({0: {"X": 0}, 1: {"X": 0}})
+        sim = Simulator(proto, net, seed=0, config=config)
+        record = sim.step()
+        assert set(record.executed.values()) == {"second"}
+
+    def test_disabled_everywhere_reports_none(self):
+        net = chain(2)
+
+        class AllDisabled(TwoRuleProtocol):
+            def actions(self):
+                return (
+                    GuardedAction("never", lambda ctx: False,
+                                  lambda ctx: ctx.set("X", 1)),
+                )
+
+        proto = AllDisabled()
+        config = Configuration({0: {"X": 0}, 1: {"X": 0}})
+        sim = Simulator(proto, net, seed=0, config=config)
+        record = sim.step()
+        assert set(record.executed.values()) == {None}
+        assert sim.config.get(0, "X") == 0
+
+    def test_mis_priority_yield_beats_claim(self):
+        """MIS's 'yield' must outrank 'patrol' for a Dominator pointing
+        at a smaller-colored Dominator — the priority the Lemma 4
+        induction needs."""
+        from repro.protocols import MISProtocol
+
+        net = chain(2)
+        proto = MISProtocol(net, {0: 1, 1: 2})
+        config = Configuration(
+            {
+                0: {"S": "Dominator", "C": 1, "cur": 1},
+                1: {"S": "Dominator", "C": 2, "cur": 1},
+            }
+        )
+        ctx = StepContext(1, net, config, proto.specs_of(net))
+        action = first_enabled(proto.actions(), ctx)
+        assert action is not None and action.name == "yield"
+
+    def test_matching_realign_is_top_priority(self):
+        from repro.protocols import MatchingProtocol
+
+        net = chain(3)
+        proto = MatchingProtocol(net, {0: 1, 1: 2, 2: 1})
+        # PR points outside {0, cur}: realign must fire regardless of
+        # everything else.
+        config = Configuration(
+            {
+                0: {"M": False, "PR": 1, "C": 1, "cur": 1},
+                1: {"M": False, "PR": 2, "C": 2, "cur": 1},
+                2: {"M": False, "PR": 0, "C": 1, "cur": 1},
+            }
+        )
+        ctx = StepContext(1, net, config, proto.specs_of(net))
+        action = first_enabled(proto.actions(), ctx)
+        assert action is not None and action.name == "realign"
+
+
+class TestDegenerateNetworks:
+    """n = 2 — the smallest network every protocol must handle."""
+
+    def test_coloring_on_two_nodes(self):
+        from repro.protocols import ColoringProtocol
+
+        net = chain(2)
+        sim = Simulator(ColoringProtocol.for_network(net), net, seed=1)
+        assert sim.run_until_silent(max_rounds=5000).stabilized
+
+    def test_mis_on_two_nodes(self):
+        from repro.predicates import dominators
+        from repro.protocols import MISProtocol
+
+        net = chain(2)
+        sim = Simulator(MISProtocol(net, {0: 1, 1: 2}), net, seed=1)
+        sim.run_until_silent(max_rounds=5000)
+        assert len(dominators(net, sim.config)) == 1
+
+    def test_matching_on_two_nodes(self):
+        from repro.predicates import matched_edges
+        from repro.protocols import MatchingProtocol
+
+        net = chain(2)
+        sim = Simulator(MatchingProtocol(net, {0: 1, 1: 2}), net, seed=1)
+        sim.run_until_silent(max_rounds=5000)
+        assert matched_edges(net, sim.config) == [(0, 1)]
+
+    def test_single_node_rejected_by_protocols(self):
+        from repro.core.exceptions import TopologyError
+        from repro.graphs import chain as chain_
+        from repro.protocols import ColoringProtocol
+
+        net = chain_(1)
+        proto = ColoringProtocol(palette_size=2)
+        with pytest.raises(TopologyError):
+            proto.variables(net, 0)

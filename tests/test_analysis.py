@@ -1,0 +1,129 @@
+"""Tests for the bound calculators, space formulas and stability runner."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    coloring_communication_bits,
+    coloring_palette_size,
+    coloring_space_bits,
+    coloring_space_report,
+    matching_round_bound,
+    matching_stability_bound,
+    max_dominators_on_longest_path,
+    measure_stability,
+    measured_space_bits,
+    min_maximal_matching_size,
+    mis_communication_bits,
+    mis_round_bound,
+    mis_stability_bound,
+    traditional_coloring_communication_bits,
+)
+from repro.graphs import (
+    chain,
+    clique,
+    figure11_graph,
+    greedy_coloring,
+    random_connected,
+    ring,
+    star,
+)
+from repro.protocols import ColoringProtocol, MISProtocol, MatchingProtocol
+
+
+class TestBoundFormulas:
+    def test_palette(self):
+        assert coloring_palette_size(star(5)) == 6
+
+    def test_mis_round_bound(self):
+        net = clique(4)
+        colors = greedy_coloring(net)  # 4 colors on a clique
+        assert mis_round_bound(net, colors) == 3 * 4
+
+    def test_matching_round_bound(self):
+        net = chain(5)  # Δ=2, n=5
+        assert matching_round_bound(net) == 3 * 5 + 2
+
+    def test_min_maximal_matching_fig11(self):
+        net, _ = figure11_graph()
+        assert min_maximal_matching_size(net) == math.ceil(14 / 7)
+
+    def test_matching_stability_bound(self):
+        net, _ = figure11_graph()
+        assert matching_stability_bound(net) == 4
+
+    def test_mis_stability_bound_path(self):
+        bound, exact = mis_stability_bound(chain(9))
+        assert exact and bound == 4
+
+    def test_max_dominators(self):
+        assert max_dominators_on_longest_path(6) == 4  # ⌈7/2⌉
+        assert max_dominators_on_longest_path(7) == 4
+
+
+class TestSpaceFormulas:
+    def test_paper_worked_example(self):
+        """§3.2: COLORING reads log(Δ+1) bits/step; a traditional
+        protocol reads Δ·log(Δ+1); space is 2log(Δ+1) + log(δ.p)."""
+        delta = 7
+        assert coloring_communication_bits(delta) == pytest.approx(3.0)
+        assert traditional_coloring_communication_bits(delta) == pytest.approx(21.0)
+        assert coloring_space_bits(delta, degree=4) == pytest.approx(3 + 3 + 2)
+
+    def test_mis_bits(self):
+        assert mis_communication_bits(4) == pytest.approx(1 + 2)
+
+    def test_space_report_shape(self):
+        net = star(3)
+        report = coloring_space_report(net)
+        assert set(report.per_process_bits) == set(net.processes)
+        assert report.max_bits >= report.per_process_bits[1]
+
+    def test_measured_matches_formula_for_coloring(self):
+        """The formula and the domain-derived measurement must agree."""
+        net = random_connected(10, 0.4, seed=1)
+        proto = ColoringProtocol.for_network(net)
+        measured = measured_space_bits(proto, net)
+        delta = net.max_degree
+        for p in net.processes:
+            assert measured.per_process_bits[p] == pytest.approx(
+                coloring_space_bits(delta, net.degree(p))
+            )
+
+
+class TestMeasuredKEfficiencyBits:
+    def test_coloring_measured_bits_match_formula(self):
+        from repro.core import Simulator
+
+        net = clique(6)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=1)
+        sim.run_until_silent(max_rounds=20_000)
+        assert sim.metrics.max_bits_in_step == pytest.approx(
+            coloring_communication_bits(net.max_degree)
+        )
+
+
+class TestStabilityRunner:
+    def test_mis_measurement_respects_bound(self):
+        net = chain(9)
+        proto = MISProtocol(net, greedy_coloring(net))
+        m = measure_stability(proto, net, seed=2, suffix_rounds=25)
+        bound, exact = mis_stability_bound(net)
+        assert exact
+        assert m.x >= bound
+        assert m.protocol == "MIS"
+
+    def test_matching_measurement_respects_bound(self):
+        net = ring(8)
+        proto = MatchingProtocol(net, greedy_coloring(net))
+        m = measure_stability(proto, net, seed=2, suffix_rounds=30)
+        assert m.x >= matching_stability_bound(net)
+
+    def test_k_parameter(self):
+        net = chain(6)
+        proto = MISProtocol(net, greedy_coloring(net))
+        loose = measure_stability(proto, net, seed=1, k=2, suffix_rounds=25)
+        tight = measure_stability(proto, net, seed=1, k=0, suffix_rounds=25)
+        assert loose.x >= tight.x

@@ -1,0 +1,123 @@
+"""Tests for the Δ-efficient baseline protocols."""
+
+import pytest
+
+from repro.core import CentralScheduler, Simulator
+from repro.graphs import (
+    chain,
+    clique,
+    greedy_coloring,
+    random_connected,
+    ring,
+    star,
+)
+from repro.predicates import (
+    is_maximal_independent_set,
+    is_maximal_matching,
+    dominators,
+    matched_edges,
+)
+from repro.protocols import FullReadColoring, FullReadMIS, FullReadMatching
+
+FAMILIES = {
+    "chain8": lambda: chain(8),
+    "ring9": lambda: ring(9),
+    "star6": lambda: star(6),
+    "clique5": lambda: clique(5),
+    "gnp14": lambda: random_connected(14, 0.3, seed=2),
+}
+
+
+class TestFullReadColoring:
+    @pytest.mark.parametrize("family", sorted(FAMILIES), ids=sorted(FAMILIES))
+    def test_stabilizes(self, family):
+        net = FAMILIES[family]()
+        sim = Simulator(FullReadColoring.for_network(net), net, seed=1)
+        assert sim.run_until_silent(max_rounds=20_000).stabilized
+
+    def test_reads_full_neighborhood(self):
+        """The baseline is Δ-efficient and no better: once stable, the
+        detection guard scans every neighbor each step."""
+        net = random_connected(12, 0.35, seed=4)
+        sim = Simulator(FullReadColoring.for_network(net), net, seed=2)
+        sim.run_until_silent(max_rounds=20_000)
+        sim.metrics.max_reads_in_step = 0
+        sim.run_rounds(5)
+        assert sim.metrics.observed_k_efficiency() == net.max_degree
+
+    def test_bits_are_delta_times_one_color(self):
+        """§3.2's comparison: Δ·log(Δ+1) bits per step vs log(Δ+1)."""
+        net = clique(5)
+        proto = FullReadColoring.for_network(net)
+        sim = Simulator(proto, net, seed=3)
+        sim.run_until_silent(max_rounds=20_000)
+        sim.metrics.max_bits_in_step = 0.0
+        sim.run_rounds(3)
+        delta = net.max_degree
+        assert sim.metrics.max_bits_in_step == pytest.approx(
+            delta * proto.palette.bits
+        )
+
+
+class TestFullReadMIS:
+    @pytest.mark.parametrize("family", sorted(FAMILIES), ids=sorted(FAMILIES))
+    def test_stabilizes(self, family):
+        net = FAMILIES[family]()
+        proto = FullReadMIS(net, greedy_coloring(net))
+        sim = Simulator(proto, net, seed=1)
+        report = sim.run_until_silent(max_rounds=20_000)
+        assert report.stabilized
+
+    def test_result_is_mis(self):
+        net = random_connected(15, 0.3, seed=7)
+        proto = FullReadMIS(net, greedy_coloring(net))
+        sim = Simulator(proto, net, seed=2)
+        sim.run_until_silent(max_rounds=20_000)
+        assert is_maximal_independent_set(net, dominators(net, sim.config))
+
+    def test_stabilizes_under_central_scheduler(self):
+        net = random_connected(12, 0.3, seed=3)
+        proto = FullReadMIS(net, greedy_coloring(net))
+        sim = Simulator(proto, net, scheduler=CentralScheduler(), seed=5)
+        assert sim.run_until_silent(max_rounds=50_000).stabilized
+
+
+class TestFullReadMatching:
+    @pytest.mark.parametrize("family", sorted(FAMILIES), ids=sorted(FAMILIES))
+    def test_stabilizes(self, family):
+        net = FAMILIES[family]()
+        proto = FullReadMatching(net, greedy_coloring(net))
+        sim = Simulator(proto, net, seed=1)
+        assert sim.run_until_silent(max_rounds=20_000).stabilized
+
+    def test_result_is_maximal_matching(self):
+        net = random_connected(15, 0.3, seed=7)
+        proto = FullReadMatching(net, greedy_coloring(net))
+        sim = Simulator(proto, net, seed=2)
+        sim.run_until_silent(max_rounds=20_000)
+        assert is_maximal_matching(net, matched_edges(net, sim.config))
+
+
+class TestAgreementWithOneEfficient:
+    """Both families must solve the same problems on the same inputs —
+    results differ in communication pattern, not in correctness."""
+
+    def test_mis_both_valid(self):
+        from repro.protocols import MISProtocol
+
+        net = random_connected(13, 0.3, seed=9)
+        colors = greedy_coloring(net)
+        for proto in (MISProtocol(net, colors), FullReadMIS(net, colors)):
+            sim = Simulator(proto, net, seed=4)
+            sim.run_until_silent(max_rounds=20_000)
+            assert is_maximal_independent_set(net, dominators(net, sim.config))
+
+    def test_matching_both_valid(self):
+        from repro.protocols import MatchingProtocol
+
+        net = random_connected(13, 0.3, seed=9)
+        colors = greedy_coloring(net)
+        for proto in (MatchingProtocol(net, colors), FullReadMatching(net, colors)):
+            sim = Simulator(proto, net, seed=4)
+            sim.run_until_silent(max_rounds=50_000)
+            assert is_maximal_matching(net, matched_edges(net, sim.config))

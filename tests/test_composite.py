@@ -1,0 +1,61 @@
+"""Tests for the COLORING → MIS/MATCHING pipeline (composite module)."""
+
+import pytest
+
+from repro.core import Simulator
+from repro.graphs import is_proper_coloring, random_connected, ring
+from repro.predicates import (
+    dominators,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    matched_edges,
+)
+from repro.protocols import (
+    colors_from_coloring_protocol,
+    matching_over_coloring,
+    mis_over_coloring,
+)
+
+
+class TestColoringStage:
+    def test_produces_local_identifiers(self):
+        net = random_connected(14, 0.3, seed=3)
+        stage = colors_from_coloring_protocol(net, seed=1)
+        assert is_proper_coloring(net, stage.colors)
+        assert stage.rounds > 0
+
+    def test_colors_within_palette(self):
+        net = ring(8)
+        stage = colors_from_coloring_protocol(net, seed=2)
+        assert all(1 <= c <= net.max_degree + 1 for c in stage.colors.values())
+
+    def test_reproducible(self):
+        net = ring(8)
+        a = colors_from_coloring_protocol(net, seed=5).colors
+        b = colors_from_coloring_protocol(net, seed=5).colors
+        assert a == b
+
+
+class TestEndToEndPipelines:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_mis_over_coloring(self, seed):
+        net = random_connected(12, 0.3, seed=7)
+        proto = mis_over_coloring(net, seed=seed)
+        sim = Simulator(proto, net, seed=seed + 100)
+        sim.run_until_silent(max_rounds=20_000)
+        assert is_maximal_independent_set(net, dominators(net, sim.config))
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matching_over_coloring(self, seed):
+        net = random_connected(12, 0.3, seed=7)
+        proto = matching_over_coloring(net, seed=seed)
+        sim = Simulator(proto, net, seed=seed + 100)
+        sim.run_until_silent(max_rounds=50_000)
+        assert is_maximal_matching(net, matched_edges(net, sim.config))
+
+    def test_pipeline_remains_one_efficient(self):
+        net = ring(9)
+        proto = mis_over_coloring(net, seed=3)
+        sim = Simulator(proto, net, seed=4)
+        sim.run_until_silent(max_rounds=20_000)
+        assert sim.metrics.observed_k_efficiency() == 1

@@ -1,0 +1,155 @@
+"""Unit tests for StepContext: tracked reads, buffered writes, model rules."""
+
+import random
+
+import pytest
+
+from repro.core import Configuration, IllegalRead, IllegalWrite, DomainError
+from repro.core.context import StepContext
+from repro.core.variables import BOOL, IntRange, comm, const, internal
+from repro.graphs import chain
+
+
+@pytest.fixture
+def setup():
+    net = chain(3)
+    specs = {
+        p: (
+            comm("C", IntRange(1, 3)),
+            const("K", IntRange(1, 9)),
+            internal("cur", IntRange(1, max(net.degree(p), 1))),
+        )
+        for p in net.processes
+    }
+    config = Configuration(
+        {
+            0: {"C": 1, "K": 7, "cur": 1},
+            1: {"C": 2, "K": 8, "cur": 1},
+            2: {"C": 3, "K": 9, "cur": 1},
+        }
+    )
+    return net, specs, config
+
+
+class TestOwnState:
+    def test_get(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        assert ctx.get("C") == 2
+
+    def test_set_buffers_write(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        ctx.set("C", 3)
+        assert ctx.writes == {"C": 3}
+        assert config.get(1, "C") == 2  # not applied yet
+
+    def test_get_sees_pending_write(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        ctx.set("C", 3)
+        assert ctx.get("C") == 3
+
+    def test_set_unknown_variable(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        with pytest.raises(IllegalWrite):
+            ctx.set("missing", 1)
+
+    def test_set_constant_rejected(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        with pytest.raises(IllegalWrite):
+            ctx.set("K", 1)
+
+    def test_set_out_of_domain(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        with pytest.raises(DomainError):
+            ctx.set("C", 42)
+
+    def test_degree(self, setup):
+        net, specs, config = setup
+        assert StepContext(1, net, config, specs).degree == 2
+        assert StepContext(0, net, config, specs).degree == 1
+
+
+class TestNeighborReads:
+    def test_read_returns_frozen_value(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        port = net.port_to(1, 0)
+        assert ctx.read(port, "C") == 1
+
+    def test_read_tracks_port(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        port = net.port_to(1, 2)
+        ctx.read(port, "C")
+        assert ctx.ports_read == {port}
+
+    def test_read_accumulates_distinct_ports(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        ctx.read(1, "C")
+        ctx.read(2, "C")
+        ctx.read(1, "C")
+        assert len(ctx.ports_read) == 2
+
+    def test_read_constant_is_tracked(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        ctx.read(1, "K")
+        assert ctx.ports_read == {1}
+
+    def test_bits_accounting(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        ctx.read(1, "C")
+        assert ctx.bits_read == pytest.approx(IntRange(1, 3).bits)
+        ctx.read(1, "K")
+        assert ctx.bits_read == pytest.approx(
+            IntRange(1, 3).bits + IntRange(1, 9).bits
+        )
+
+    def test_internal_variable_unreadable(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        with pytest.raises(IllegalRead):
+            ctx.read(1, "cur")
+
+    def test_unknown_variable_unreadable(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        with pytest.raises(IllegalRead):
+            ctx.read(1, "nope")
+
+
+class TestHelpers:
+    def test_advance_wraps(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        ctx.advance("cur")
+        assert ctx.get("cur") == 2
+        ctx.advance("cur")
+        assert ctx.get("cur") == 1
+
+    def test_random_requires_rng(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs, rng=None)
+        with pytest.raises(IllegalWrite):
+            ctx.random_choice(IntRange(1, 3))
+
+    def test_random_flags_usage(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs, rng=random.Random(0))
+        assert not ctx.used_randomness
+        ctx.random_choice(IntRange(1, 3))
+        assert ctx.used_randomness
+
+    def test_comm_writes_filters_internal(self, setup):
+        net, specs, config = setup
+        ctx = StepContext(1, net, config, specs)
+        ctx.set("C", 1)
+        ctx.set("cur", 2)
+        assert ctx.comm_writes() == {"C": 1}

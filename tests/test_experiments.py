@@ -1,0 +1,83 @@
+"""Tests for the experiment harness (runner + tables)."""
+
+import pytest
+
+from repro.core import CentralScheduler
+from repro.experiments import (
+    format_markdown_table,
+    format_table,
+    run_sweep,
+    run_trial,
+)
+from repro.graphs import greedy_coloring, ring
+from repro.protocols import ColoringProtocol, MISProtocol
+
+
+class TestRunTrial:
+    def test_trial_fields(self):
+        net = ring(6)
+        t = run_trial(ColoringProtocol.for_network(net), net, seed=1)
+        assert t.protocol == "COLORING"
+        assert t.scheduler == "synchronous"
+        assert (t.n, t.m, t.delta) == (6, 6, 2)
+        assert t.legitimate and t.silent
+        assert t.k_efficiency == 1
+
+    def test_trial_with_explicit_scheduler(self):
+        net = ring(6)
+        t = run_trial(
+            ColoringProtocol.for_network(net), net,
+            scheduler=CentralScheduler(), seed=2,
+        )
+        assert t.scheduler == "central"
+        # Central daemon: rounds cost about n steps each.
+        assert t.steps >= t.rounds
+
+    def test_trial_deterministic(self):
+        net = ring(6)
+        a = run_trial(ColoringProtocol.for_network(net), net, seed=7)
+        b = run_trial(ColoringProtocol.for_network(net), net, seed=7)
+        assert a == b
+
+
+class TestSweep:
+    def test_sweep_aggregates(self):
+        net = ring(6)
+        point = run_sweep(
+            "ring6",
+            lambda n: ColoringProtocol.for_network(n),
+            net,
+            seeds=range(4),
+        )
+        assert len(point.trials) == 4
+        assert point.all_stabilized
+        assert point.min("rounds") <= point.mean("rounds") <= point.max("rounds")
+        assert point.stdev("rounds") >= 0
+
+    def test_sweep_with_deterministic_protocol(self):
+        net = ring(6)
+        colors = greedy_coloring(net)
+        point = run_sweep(
+            "mis", lambda n: MISProtocol(n, colors), net, seeds=[0, 1]
+        )
+        assert point.all_stabilized
+
+
+class TestTables:
+    def test_ascii_alignment(self):
+        out = format_table(["name", "v"], [["a", 1], ["bb", 2.5]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "----" in lines[2]
+        assert "2.50" in lines[4]
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_markdown(self):
+        out = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = out.splitlines()
+        assert lines[0].startswith("| a | b |")
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"

@@ -1,0 +1,136 @@
+"""Tests for fault injection and recovery measurement."""
+
+import random
+
+import pytest
+
+from repro.core import Simulator
+from repro.faults import (
+    adversarial_reset,
+    availability_experiment,
+    corrupt_comm_only,
+    corrupt_fraction,
+    corrupt_internal_only,
+    corrupt_processes,
+    measure_recovery,
+)
+from repro.graphs import greedy_coloring, grid, random_connected, ring
+from repro.protocols import ColoringProtocol, MISProtocol
+
+
+def stabilized_coloring(net, seed=1):
+    sim = Simulator(ColoringProtocol.for_network(net), net, seed=seed)
+    sim.run_until_silent(max_rounds=20_000)
+    return sim
+
+
+class TestInjection:
+    def test_corrupt_processes_touches_only_victims(self):
+        net = ring(8)
+        sim = stabilized_coloring(net)
+        before = sim.config.as_dict()
+        rng = random.Random(999)
+        corrupt_processes(sim, [0, 1], rng)
+        after = sim.config.as_dict()
+        for p in net.processes:
+            if p not in (0, 1):
+                assert before[p] == after[p]
+
+    def test_corrupt_stays_in_domain(self):
+        net = ring(8)
+        sim = stabilized_coloring(net)
+        corrupt_processes(sim, list(net.processes), random.Random(3))
+        sim.protocol.validate_configuration(net, sim.config)
+
+    def test_constants_never_corrupted(self):
+        net = random_connected(10, 0.4, seed=2)
+        colors = greedy_coloring(net)
+        sim = Simulator(MISProtocol(net, colors), net, seed=1)
+        corrupt_processes(sim, list(net.processes), random.Random(5))
+        for p in net.processes:
+            assert sim.config.get(p, "C") == colors[p]
+
+    def test_corrupt_fraction_counts(self):
+        net = ring(10)
+        sim = stabilized_coloring(net)
+        victims = corrupt_fraction(sim, 0.5, random.Random(2))
+        assert len(victims) == 5
+
+    def test_fraction_validation(self):
+        net = ring(6)
+        sim = stabilized_coloring(net)
+        with pytest.raises(ValueError):
+            corrupt_fraction(sim, 1.5, random.Random(0))
+
+    def test_internal_only_preserves_silence(self):
+        """Corrupting only round-robin pointers cannot wake a silent
+        coloring: communication state is untouched and all guards
+        depend on (frozen) colors — the checker must still say silent."""
+        net = ring(8)
+        sim = stabilized_coloring(net)
+        corrupt_internal_only(sim, list(net.processes), random.Random(4))
+        assert sim.is_silent()
+
+    def test_comm_only_breaks_coloring(self):
+        net = ring(8)
+        sim = stabilized_coloring(net)
+        rng = random.Random(0)
+        # Force a genuine conflict: copy a neighbor's color.
+        sim.config.set(0, "C", sim.config.get(net.neighbor_at(0, 1), "C"))
+        assert not sim.is_legitimate()
+        assert not sim.is_silent()
+
+    def test_adversarial_reset_same_state_everywhere(self):
+        net = ring(8)
+        sim = stabilized_coloring(net)
+        adversarial_reset(sim, {"C": 1, "cur": 1})
+        assert all(sim.config.get(p, "C") == 1 for p in net.processes)
+
+    def test_adversarial_reset_clamps_pointers(self):
+        net = grid(2, 3)  # degrees 2 and 3
+        sim = stabilized_coloring(net)
+        adversarial_reset(sim, {"cur": 99})
+        for p in net.processes:
+            assert 1 <= sim.config.get(p, "cur") <= net.degree(p)
+
+
+class TestRecovery:
+    def test_recovery_from_full_corruption(self):
+        net = random_connected(12, 0.3, seed=3)
+        sim = Simulator(ColoringProtocol.for_network(net), net, seed=2)
+        report = measure_recovery(
+            sim,
+            lambda s, r: corrupt_fraction(s, 1.0, r),
+            random.Random(7),
+        )
+        assert report.rounds_to_recover >= 0
+        assert sim.is_legitimate()
+
+    def test_noop_fault_recovers_instantly(self):
+        net = ring(8)
+        sim = Simulator(ColoringProtocol.for_network(net), net, seed=2)
+        report = measure_recovery(sim, lambda s, r: [], random.Random(1))
+        assert not report.disturbed
+        assert report.rounds_to_recover == 0
+
+    def test_availability_between_zero_and_one(self):
+        net = grid(3, 3)
+        report = availability_experiment(
+            ColoringProtocol.for_network(net),
+            net,
+            fault_period_rounds=15,
+            fault_fraction=0.3,
+            total_rounds=90,
+            seed=5,
+        )
+        assert 0.0 < report.availability <= 1.0
+        assert report.faults_injected >= 5
+
+    def test_availability_high_for_rare_faults(self):
+        net = ring(10)
+        rare = availability_experiment(
+            ColoringProtocol.for_network(net), net,
+            fault_period_rounds=40, fault_fraction=0.1,
+            total_rounds=120, seed=5,
+        )
+        assert rare.availability > 0.8

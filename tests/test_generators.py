@@ -1,0 +1,98 @@
+"""Unit tests for the topology generators."""
+
+import pytest
+
+from repro.core.exceptions import TopologyError
+from repro.graphs import (
+    binary_tree,
+    caterpillar,
+    chain,
+    clique,
+    grid,
+    hypercube,
+    random_connected,
+    random_regular,
+    random_tree,
+    ring,
+    star,
+    torus,
+)
+
+
+class TestDeterministicFamilies:
+    def test_chain(self):
+        net = chain(6)
+        assert net.n == 6 and net.m == 5 and net.max_degree == 2
+
+    def test_chain_minimum(self):
+        with pytest.raises(TopologyError):
+            chain(0)
+
+    def test_ring(self):
+        net = ring(5)
+        assert net.n == 5 and net.m == 5
+        assert all(net.degree(p) == 2 for p in net.processes)
+
+    def test_ring_minimum(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_star(self):
+        net = star(5)
+        assert net.n == 6 and net.max_degree == 5
+        assert sum(1 for p in net.processes if net.degree(p) == 1) == 5
+
+    def test_clique(self):
+        net = clique(5)
+        assert net.m == 10 and net.max_degree == 4
+
+    def test_grid(self):
+        net = grid(3, 4)
+        assert net.n == 12 and net.max_degree == 4
+
+    def test_torus_regular(self):
+        net = torus(3, 4)
+        assert all(net.degree(p) == 4 for p in net.processes)
+
+    def test_hypercube(self):
+        net = hypercube(3)
+        assert net.n == 8
+        assert all(net.degree(p) == 3 for p in net.processes)
+
+    def test_binary_tree(self):
+        net = binary_tree(3)
+        assert net.n == 15 and net.max_degree == 3
+
+    def test_caterpillar(self):
+        net = caterpillar(3, 2)
+        assert net.n == 3 + 6
+        # spine interior node: 2 spine + 2 legs
+        assert net.max_degree == 4
+
+
+class TestRandomFamilies:
+    def test_random_connected_is_connected(self):
+        for seed in range(5):
+            net = random_connected(20, 0.15, seed=seed)
+            assert net.n == 20
+            assert net.diameter < 20  # diameter computable => connected
+
+    def test_random_connected_reproducible(self):
+        a = random_connected(15, 0.3, seed=42)
+        b = random_connected(15, 0.3, seed=42)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_random_regular_degrees(self):
+        net = random_regular(12, 3, seed=1)
+        assert all(net.degree(p) == 3 for p in net.processes)
+
+    def test_random_regular_parity(self):
+        with pytest.raises(TopologyError):
+            random_regular(7, 3, seed=0)
+
+    def test_random_tree_edge_count(self):
+        net = random_tree(17, seed=2)
+        assert net.m == net.n - 1
+
+    def test_single_node_tree(self):
+        assert random_tree(1).n == 1

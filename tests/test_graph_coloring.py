@@ -1,0 +1,78 @@
+"""Unit tests for the proper-coloring substrate (graphs.coloring)."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import TopologyError
+from repro.graphs import (
+    assert_local_identifiers,
+    chain,
+    clique,
+    color_count,
+    dsatur_coloring,
+    greedy_coloring,
+    is_proper_coloring,
+    random_connected,
+    random_proper_coloring,
+    ring,
+    sequential_coloring,
+    welsh_powell_coloring,
+)
+
+ALGOS = [
+    greedy_coloring,
+    dsatur_coloring,
+    welsh_powell_coloring,
+    sequential_coloring,
+]
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+class TestAlgorithms:
+    def test_proper_on_random(self, algo):
+        net = random_connected(20, 0.25, seed=5)
+        assert is_proper_coloring(net, algo(net))
+
+    def test_proper_on_clique(self, algo):
+        net = clique(5)
+        colors = algo(net)
+        assert is_proper_coloring(net, colors)
+        assert color_count(colors) == 5
+
+    def test_at_most_delta_plus_one(self, algo):
+        for seed in range(4):
+            net = random_connected(15, 0.3, seed=seed)
+            assert color_count(algo(net)) <= net.max_degree + 1
+
+    def test_one_based(self, algo):
+        net = ring(6)
+        assert min(algo(net).values()) >= 1
+
+
+class TestHelpers:
+    def test_is_proper_detects_conflict(self):
+        net = chain(3)
+        assert not is_proper_coloring(net, {0: 1, 1: 1, 2: 2})
+
+    def test_is_proper_requires_total(self):
+        net = chain(3)
+        assert not is_proper_coloring(net, {0: 1, 1: 2})
+
+    def test_assert_local_identifiers(self):
+        net = chain(3)
+        with pytest.raises(TopologyError):
+            assert_local_identifiers(net, {0: 1, 1: 1, 2: 1})
+
+    def test_color_count(self):
+        assert color_count({0: 1, 1: 5, 2: 1}) == 2
+
+    def test_random_proper(self):
+        net = random_connected(15, 0.3, seed=9)
+        colors = random_proper_coloring(net, random.Random(1))
+        assert is_proper_coloring(net, colors)
+
+    def test_sequential_respects_order(self):
+        net = chain(3)
+        colors = sequential_coloring(net, order=[2, 1, 0])
+        assert colors[2] == 1  # first in order gets color 1

@@ -1,0 +1,150 @@
+"""Tests for the Theorem 1 / Theorem 2 impossibility demonstrations."""
+
+import pytest
+
+from repro.core import Simulator, is_silent
+from repro.graphs import chain, ring, theorem1_chain, theorem2_network
+from repro.impossibility import (
+    FixedWatchColoring,
+    OrientedWatchColoring,
+    build_trap_configuration,
+    overlay_five_chain,
+    theorem1_gadget_demo,
+    theorem1_overlay_demo,
+    theorem1_splice_demo,
+    theorem2_demo,
+    theorem2_gadget_demo,
+    transplant_states,
+)
+
+
+class TestStrawmanProtocols:
+    def test_fixed_watch_is_1_stable_by_construction(self):
+        """The strawman reads one fixed neighbor forever — the strongest
+        stability class the theorems rule out for Δ > 1."""
+        net = ring(6)
+        proto = FixedWatchColoring(palette_size=3)
+        sim = Simulator(proto, net, seed=1)
+        sim.run_steps(300)
+        assert sim.metrics.observed_stability() <= 1
+
+    def test_fixed_watch_stabilizes_on_favourable_ports(self):
+        """On a ring with default ports every edge is watched by one
+        endpoint, so the strawman genuinely self-stabilizes there — the
+        impossibility needs the *adversarial* numbering."""
+        net = ring(6)
+        proto = FixedWatchColoring(palette_size=3)
+        watched = proto.watched_edges(net)
+        if len(watched) == net.m:
+            sim = Simulator(proto, net, seed=2)
+            report = sim.run_until_silent(max_rounds=5000)
+            assert report.legitimate
+
+    def test_unwatched_edges_detection(self):
+        net = theorem1_chain().with_ports({3: [2, 4], 4: [5, 3]})
+        proto = FixedWatchColoring(palette_size=3)
+        assert proto.unwatched_edges(net) == [(3, 4)]
+
+    def test_oriented_strawman_watches_successors(self):
+        oriented = theorem2_network()
+        proto = OrientedWatchColoring(3, oriented)
+        net = oriented.network
+        for p in net.processes:
+            succ = oriented.succ.get(p, frozenset())
+            watched = net.neighbor_at(p, proto.watch_port_of(p))
+            if succ:
+                assert watched in succ
+
+
+class TestTrapConstruction:
+    def test_rejects_watched_edge(self):
+        net = theorem1_chain()
+        proto = FixedWatchColoring(palette_size=3)
+        watched = next(iter(proto.watched_edges(net)))
+        with pytest.raises(ValueError):
+            build_trap_configuration(proto, net, tuple(watched))
+
+    def test_trap_is_monochromatic_only_on_trap_edge(self):
+        net = theorem1_chain().with_ports({3: [2, 4], 4: [5, 3]})
+        proto = FixedWatchColoring(palette_size=3)
+        config = build_trap_configuration(proto, net, (3, 4))
+        assert config.get(3, "C") == config.get(4, "C") == 1
+        for p, q in net.edges():
+            if {p, q} != {3, 4}:
+                assert config.get(p, "C") != config.get(q, "C")
+
+
+class TestSplicing:
+    def test_transplant_copies_full_states(self):
+        from repro.core import Configuration
+
+        a = Configuration({1: {"C": 1}, 2: {"C": 2}})
+        b = Configuration({1: {"C": 9}, 2: {"C": 8}})
+        merged = transplant_states(
+            {"A": a, "B": b}, {10: ("A", 1), 20: ("B", 2)}
+        )
+        assert merged.get(10, "C") == 1 and merged.get(20, "C") == 8
+
+    def test_overlay_takes_left_from_gamma3(self):
+        from repro.core import Configuration
+
+        g3 = Configuration({i: {"C": i} for i in range(1, 6)})
+        g4 = Configuration({i: {"C": 10 + i} for i in range(1, 6)})
+        merged = overlay_five_chain(g3, g4)
+        assert [merged.get(i, "C") for i in range(1, 6)] == [1, 2, 3, 14, 15]
+
+
+ALL_DEMOS = [
+    ("overlay", theorem1_overlay_demo),
+    ("splice", theorem1_splice_demo),
+    ("gadget2", lambda: theorem1_gadget_demo(2)),
+    ("gadget3", lambda: theorem1_gadget_demo(3)),
+    ("gadget5", lambda: theorem1_gadget_demo(5)),
+    ("thm2", theorem2_demo),
+    ("thm2-gadget3", lambda: theorem2_gadget_demo(3)),
+    ("thm2-gadget4", lambda: theorem2_gadget_demo(4)),
+]
+
+
+@pytest.mark.parametrize("name,demo_fn", ALL_DEMOS, ids=[d[0] for d in ALL_DEMOS])
+class TestDemonstrations:
+    def test_trap_is_silent(self, name, demo_fn):
+        demo = demo_fn()
+        assert is_silent(demo.protocol, demo.network, demo.config)
+
+    def test_trap_is_illegitimate(self, name, demo_fn):
+        demo = demo_fn()
+        assert not demo.protocol.is_legitimate(demo.network, demo.config)
+
+    def test_trap_edge_unwatched(self, name, demo_fn):
+        demo = demo_fn()
+        unwatched = {frozenset(e) for e in demo.protocol.unwatched_edges(demo.network)}
+        assert frozenset(demo.trap_edge) in unwatched
+
+    def test_dynamic_verification(self, name, demo_fn):
+        report = demo_fn().verify(rounds=15, seed=7)
+        assert report.demonstrates_impossibility
+        assert not report.comm_changed
+
+
+class TestContrastWithColoring:
+    def test_real_coloring_escapes_the_same_trap(self):
+        """From the very trap that freezes the strawman, protocol
+        COLORING recovers — its round-robin pointer eventually reads the
+        conflicting edge.  This is the positive/negative contrast at the
+        heart of the paper."""
+        from repro.core import Configuration
+        from repro.protocols import ColoringProtocol
+
+        demo = theorem1_overlay_demo()
+        net = demo.network
+        proto = ColoringProtocol(palette_size=3)
+        config = Configuration(
+            {
+                p: {"C": demo.config.get(p, "C"), "cur": 1}
+                for p in net.processes
+            }
+        )
+        sim = Simulator(proto, net, seed=5, config=config)
+        report = sim.run_until_silent(max_rounds=20_000)
+        assert report.stabilized

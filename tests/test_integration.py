@@ -1,0 +1,178 @@
+"""Cross-module integration scenarios.
+
+Each test exercises several subsystems end to end, the way a downstream
+user would: anonymous bootstrap pipelines, adversarial port relabeling,
+trace-audited efficiency, checkpointed recovery, fault storms.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    matching_round_bound,
+    matching_stability_bound,
+    measure_stability,
+    mis_round_bound,
+    mis_stability_bound,
+)
+from repro.core import Simulator, TraceRecorder, is_silent
+from repro.core.serialization import (
+    configuration_from_json,
+    configuration_to_json,
+)
+from repro.faults import corrupt_fraction, measure_recovery
+from repro.graphs import (
+    color_count,
+    greedy_coloring,
+    random_connected,
+    relabel_ports_randomly,
+    verify_theorem4,
+)
+from repro.predicates import (
+    dominators,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    matched_edges,
+)
+from repro.protocols import (
+    ColoringProtocol,
+    MISProtocol,
+    MatchingProtocol,
+    colors_from_coloring_protocol,
+)
+
+
+class TestAnonymousBootstrapPipeline:
+    """Anonymous network → COLORING → identifiers → MIS + MATCHING,
+    with every layer's guarantees checked."""
+
+    def test_full_stack(self):
+        net = random_connected(18, 0.25, seed=14)
+        stage = colors_from_coloring_protocol(net, seed=1)
+        assert color_count(stage.colors) <= net.max_degree + 1
+        assert verify_theorem4(net, stage.colors)
+
+        mis = MISProtocol(net, stage.colors)
+        sim_mis = Simulator(mis, net, seed=2)
+        rep_mis = sim_mis.run_until_silent(max_rounds=50_000)
+        assert rep_mis.rounds <= mis_round_bound(net, stage.colors)
+        assert is_maximal_independent_set(net, dominators(net, sim_mis.config))
+
+        matching = MatchingProtocol(net, stage.colors)
+        sim_m = Simulator(matching, net, seed=3)
+        rep_m = sim_m.run_until_silent(max_rounds=100_000)
+        assert rep_m.rounds <= matching_round_bound(net)
+        assert is_maximal_matching(net, matched_edges(net, sim_m.config))
+
+        for sim in (sim_mis, sim_m):
+            assert sim.metrics.observed_k_efficiency() == 1
+
+
+class TestAdversarialPortNumbering:
+    """Anonymity means the adversary picks the port maps; correctness
+    and the bounds must survive any relabeling."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_protocols_survive_relabeling(self, seed):
+        base = random_connected(14, 0.3, seed=8)
+        net = relabel_ports_randomly(base, random.Random(seed))
+        colors = greedy_coloring(net)
+
+        sim_c = Simulator(ColoringProtocol.for_network(net), net, seed=seed)
+        assert sim_c.run_until_silent(max_rounds=50_000).stabilized
+
+        sim_i = Simulator(MISProtocol(net, colors), net, seed=seed)
+        rep_i = sim_i.run_until_silent(max_rounds=50_000)
+        assert rep_i.rounds <= mis_round_bound(net, colors)
+
+        sim_m = Simulator(MatchingProtocol(net, colors), net, seed=seed)
+        rep_m = sim_m.run_until_silent(max_rounds=100_000)
+        assert rep_m.rounds <= matching_round_bound(net)
+
+    def test_stability_bounds_survive_relabeling(self):
+        from repro.graphs import chain
+
+        net = relabel_ports_randomly(chain(12), random.Random(5))
+        colors = greedy_coloring(net)
+        m = measure_stability(MISProtocol(net, colors), net, seed=1,
+                              suffix_rounds=25)
+        bound, exact = mis_stability_bound(net)
+        assert exact and m.x >= bound
+
+
+class TestTraceAuditedEfficiency:
+    """The efficiency theorems audited from raw traces, not metrics."""
+
+    @pytest.mark.parametrize(
+        "make_proto",
+        [
+            lambda net, colors: ColoringProtocol.for_network(net),
+            lambda net, colors: MISProtocol(net, colors),
+            lambda net, colors: MatchingProtocol(net, colors),
+        ],
+        ids=["coloring", "mis", "matching"],
+    )
+    def test_every_traced_step_reads_at_most_one_neighbor(self, make_proto):
+        net = random_connected(12, 0.3, seed=4)
+        colors = greedy_coloring(net)
+        sim = Simulator(make_proto(net, colors), net, seed=6)
+        recorder = TraceRecorder(sim, seed=6)
+        recorder.run_steps(120)
+        assert recorder.trace.k_efficiency() <= 1
+
+
+class TestCheckpointedRecovery:
+    def test_corrupt_checkpoint_restore_recover(self):
+        net = random_connected(12, 0.3, seed=9)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=1)
+        sim.run_until_silent(max_rounds=50_000)
+
+        # Archive the silent configuration, corrupt the live system.
+        blob = configuration_to_json(sim.config)
+        corrupt_fraction(sim, 1.0, random.Random(2))
+
+        # Restoring the archive yields silence; the corrupted system
+        # must also re-converge on its own.
+        restored = configuration_from_json(blob)
+        assert is_silent(proto, net, restored)
+        assert sim.run_until_silent(max_rounds=50_000).stabilized
+
+
+class TestFaultStorm:
+    @pytest.mark.parametrize(
+        "make_proto",
+        [
+            lambda net, colors: ColoringProtocol.for_network(net),
+            lambda net, colors: MISProtocol(net, colors),
+            lambda net, colors: MatchingProtocol(net, colors),
+        ],
+        ids=["coloring", "mis", "matching"],
+    )
+    def test_repeated_faults_always_recover(self, make_proto):
+        net = random_connected(12, 0.3, seed=11)
+        colors = greedy_coloring(net)
+        sim = Simulator(make_proto(net, colors), net, seed=3)
+        rng = random.Random(77)
+        for round_no in range(4):
+            report = measure_recovery(
+                sim, lambda s, r: corrupt_fraction(s, 0.5, r), rng,
+                max_rounds=100_000,
+            )
+            assert report.rounds_to_recover >= 0
+        assert sim.is_legitimate() and sim.is_silent()
+
+
+class TestStabilityAcrossSchedulers:
+    def test_matching_stability_holds_under_central_daemon(self):
+        from repro.core import CentralScheduler
+        from repro.graphs import ring
+
+        net = ring(10)
+        colors = greedy_coloring(net)
+        m = measure_stability(
+            MatchingProtocol(net, colors), net,
+            scheduler=CentralScheduler(), seed=5, suffix_rounds=40,
+        )
+        assert m.x >= matching_stability_bound(net)

@@ -1,0 +1,91 @@
+"""Tests for the k-efficiency spectrum protocol and convergence stats."""
+
+import pytest
+
+from repro.analysis import (
+    compare_schedulers,
+    conflict_decay_timeline,
+    run_convergence_study,
+)
+from repro.core import CentralScheduler, Simulator, SynchronousScheduler
+from repro.graphs import clique, random_connected, ring
+from repro.predicates import conflict_count
+from repro.protocols import ColoringProtocol, WindowColoringProtocol
+
+
+class TestWindowColoring:
+    @pytest.mark.parametrize("k", [1, 2, 3, 10])
+    def test_stabilizes_for_every_k(self, k):
+        net = random_connected(14, 0.3, seed=3)
+        proto = WindowColoringProtocol.for_network(net, k)
+        sim = Simulator(proto, net, seed=5)
+        report = sim.run_until_silent(max_rounds=50_000)
+        assert report.stabilized
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_exactly_k_efficient(self, k):
+        net = clique(6)  # degree 5 ≥ k everywhere
+        proto = WindowColoringProtocol.for_network(net, k)
+        sim = Simulator(proto, net, seed=5)
+        sim.run_until_silent(max_rounds=50_000)
+        sim.run_rounds(5)
+        assert sim.metrics.observed_k_efficiency() == k
+
+    def test_k_clamped_by_degree(self):
+        net = ring(8)  # degree 2
+        proto = WindowColoringProtocol.for_network(net, 10)
+        sim = Simulator(proto, net, seed=5)
+        sim.run_until_silent(max_rounds=50_000)
+        assert sim.metrics.observed_k_efficiency() <= 2
+
+    def test_k_at_least_one(self):
+        with pytest.raises(ValueError):
+            WindowColoringProtocol(palette_size=3, k=0)
+
+    def test_name_encodes_k(self):
+        assert WindowColoringProtocol(3, 2).name == "COLORING-k2"
+
+
+class TestConvergenceStudy:
+    def test_study_statistics_consistent(self):
+        net = ring(10)
+        study = run_convergence_study(
+            lambda: ColoringProtocol.for_network(net), net, seeds=range(10)
+        )
+        assert len(study.rounds) == 10
+        assert study.percentile(0.0) == min(study.rounds)
+        assert study.percentile(1.0) == study.max_rounds
+        assert study.percentile(0.5) == pytest.approx(study.median_rounds)
+        assert min(study.rounds) <= study.mean_rounds <= study.max_rounds
+
+    def test_empty_study_raises(self):
+        from repro.analysis import ConvergenceStudy
+
+        with pytest.raises(ValueError):
+            ConvergenceStudy("x", 1).percentile(0.5)
+
+    def test_conflict_decay_ends_at_zero(self):
+        """Lemma 2's potential: the Conflit series ends at 0 at silence."""
+        net = random_connected(12, 0.3, seed=8)
+        series = conflict_decay_timeline(
+            ColoringProtocol.for_network(net),
+            net,
+            potential=conflict_count,
+            seed=3,
+        )
+        assert series[-1] == 0
+
+    def test_compare_schedulers_returns_study_per_daemon(self):
+        net = ring(8)
+        results = compare_schedulers(
+            lambda: ColoringProtocol.for_network(net),
+            net,
+            {
+                "synchronous": SynchronousScheduler,
+                "central": CentralScheduler,
+            },
+            seeds=range(4),
+        )
+        assert set(results) == {"synchronous", "central"}
+        for study in results.values():
+            assert len(study.rounds) == 4

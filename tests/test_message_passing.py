@@ -1,0 +1,145 @@
+"""Tests for the message-passing cost emulation and locally central daemon."""
+
+import random
+
+import pytest
+
+from repro.core import Simulator
+from repro.core.scheduler import LocallyCentralScheduler
+from repro.graphs import greedy_coloring, random_connected, ring
+from repro.mp import Message, PullEmulator, PushAccountant, TrafficStats
+from repro.protocols import (
+    ColoringProtocol,
+    FullReadColoring,
+    MISProtocol,
+)
+
+
+class TestTrafficStats:
+    def test_charge_accumulates(self):
+        stats = TrafficStats()
+        stats.charge(Message(0, "REQ", 0, 1, 1.0))
+        stats.charge(Message(0, "REP", 1, 0, 2.0))
+        stats.charge(Message(1, "REQ", 0, 1, 1.0))
+        assert stats.messages == 3
+        assert stats.bits == pytest.approx(4.0)
+        assert stats.per_link[("0", "1")] == 2
+        assert stats.busiest_link_load == 2
+
+
+class TestPullEmulation:
+    def test_one_efficient_costs_two_messages_per_process_step(self):
+        """Synchronous daemon + 1-efficient protocol: every step is
+        exactly n reads = 2n messages."""
+        net = ring(8)
+        emu = PullEmulator(ColoringProtocol.for_network(net), net, seed=3)
+        emu.run_rounds(10)  # synchronous: 10 steps
+        assert emu.stats.messages == 2 * net.n * 10
+
+    def test_delta_efficient_costs_two_delta(self):
+        net = ring(8)  # Δ = 2
+        emu = PullEmulator(FullReadColoring.for_network(net), net, seed=3)
+        emu.sim.run_until_silent(max_rounds=20_000)
+        rate = emu.messages_per_round(rounds=6)
+        assert rate == pytest.approx(2 * 2 * net.n)
+
+    def test_steady_state_rate_matches_paper_gap(self):
+        """Stabilized phase: the pull cost gap between COLORING and the
+        full-read baseline is the factor Δ of §3.2."""
+        net = random_connected(14, 0.35, seed=5)
+        delta = net.max_degree
+
+        eff = PullEmulator(ColoringProtocol.for_network(net), net, seed=4)
+        eff.sim.run_until_silent(max_rounds=20_000)
+        rate_eff = eff.messages_per_round(rounds=8)
+
+        base = PullEmulator(FullReadColoring.for_network(net), net, seed=4)
+        base.sim.run_until_silent(max_rounds=20_000)
+        rate_base = base.messages_per_round(rounds=8)
+
+        # Baseline reads δ.p per process; 1-efficient reads exactly 1.
+        assert rate_eff == pytest.approx(2 * net.n)
+        assert rate_base == pytest.approx(2 * sum(net.degree(p) for p in net.processes))
+        assert rate_base > rate_eff
+
+    def test_message_log(self):
+        net = ring(5)
+        emu = PullEmulator(
+            ColoringProtocol.for_network(net), net, seed=1, keep_log=True
+        )
+        emu.run_rounds(2)
+        kinds = {m.kind for m in emu.log}
+        assert kinds == {"REQ", "REP"}
+        # Requests and replies travel opposite directions on each link.
+        req = next(m for m in emu.log if m.kind == "REQ")
+        rep = next(
+            m for m in emu.log
+            if m.kind == "REP" and m.src == req.dst and m.dst == req.src
+        )
+        assert rep.step == req.step
+
+
+class TestPushAccounting:
+    def test_silent_push_costs_only_refresh(self):
+        net = ring(8)
+        proto = ColoringProtocol.for_network(net)
+        push = PushAccountant(proto, net, seed=3, refresh_period=5)
+        push.sim.run_until_silent(max_rounds=20_000)
+        push.stats = TrafficStats()  # reset after convergence
+        push.run_rounds(10)  # synchronous: 10 steps → 2 refresh sweeps
+        refresh_msgs = sum(
+            1 for link, n in push.stats.per_link.items() for _ in range(n)
+        )
+        # Every refresh sweep is one broadcast per process: n·δ messages.
+        expected_per_sweep = sum(net.degree(p) for p in net.processes)
+        assert push.stats.messages % expected_per_sweep == 0
+        assert push.stats.messages >= expected_per_sweep
+
+    def test_refresh_period_validation(self):
+        net = ring(5)
+        with pytest.raises(ValueError):
+            PushAccountant(ColoringProtocol.for_network(net), net,
+                           refresh_period=0)
+
+    def test_convergence_writes_are_charged(self):
+        net = ring(8)
+        push = PushAccountant(
+            ColoringProtocol.for_network(net), net, seed=3,
+            refresh_period=10_000,  # isolate write-triggered traffic
+        )
+        push.run_rounds(5)
+        kinds = {"PUSH"} if push.stats.messages else set()
+        assert push.stats.messages >= 0  # corrupted start usually writes
+        # From an adversarial all-same-color start, writes must occur.
+        from repro.core import Configuration
+
+        proto = ColoringProtocol.for_network(net)
+        config = Configuration({p: {"C": 1, "cur": 1} for p in net.processes})
+        push2 = PushAccountant(proto, net, seed=5, refresh_period=10_000)
+        push2.sim.config = config
+        push2.run_rounds(3)
+        assert push2.stats.messages > 0
+
+
+class TestLocallyCentralScheduler:
+    def test_never_activates_neighbors_together(self):
+        net = random_connected(12, 0.3, seed=7)
+        sched = LocallyCentralScheduler(net)
+        rng = random.Random(1)
+        for _ in range(200):
+            chosen = set(sched.select(net.processes, rng))
+            for p in chosen:
+                assert not any(q in chosen for q in net.neighbors(p))
+
+    def test_protocols_stabilize_under_it(self):
+        net = random_connected(12, 0.3, seed=7)
+        colors = greedy_coloring(net)
+        for proto in (ColoringProtocol.for_network(net), MISProtocol(net, colors)):
+            sim = Simulator(proto, net, scheduler=LocallyCentralScheduler(net),
+                            seed=2)
+            assert sim.run_until_silent(max_rounds=100_000).stabilized
+
+    def test_p_act_validation(self):
+        net = ring(5)
+        with pytest.raises(ValueError):
+            LocallyCentralScheduler(net, p_act=0.0)

@@ -1,0 +1,75 @@
+"""Unit tests for color-induced dag orientations (Theorem 4)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    chain,
+    clique,
+    color_orientation,
+    color_rank,
+    dsatur_coloring,
+    greedy_coloring,
+    local_minima,
+    orientation_successors,
+    random_connected,
+    ring,
+    verify_theorem4,
+)
+
+
+class TestTheorem4:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_orientation_is_always_acyclic(self, seed):
+        net = random_connected(18, 0.3, seed=seed)
+        assert verify_theorem4(net, greedy_coloring(net))
+
+    def test_every_edge_oriented_once(self):
+        net = ring(8)
+        colors = greedy_coloring(net)
+        digraph = color_orientation(net, colors)
+        assert digraph.number_of_edges() == net.m
+
+    def test_orientation_follows_color_order(self):
+        net = chain(4)
+        colors = {0: 1, 1: 2, 2: 3, 3: 1}
+        digraph = color_orientation(net, colors)
+        assert digraph.has_edge(0, 1)
+        assert digraph.has_edge(1, 2)
+        assert digraph.has_edge(3, 2)
+
+    def test_clique_orientation_is_total_order(self):
+        net = clique(4)
+        colors = dsatur_coloring(net)
+        digraph = color_orientation(net, colors)
+        order = list(nx.topological_sort(digraph))
+        for i, p in enumerate(order):
+            for q in order[i + 1:]:
+                assert digraph.has_edge(p, q)
+
+
+class TestHelpers:
+    def test_successors_match_digraph(self):
+        net = random_connected(12, 0.3, seed=2)
+        colors = greedy_coloring(net)
+        digraph = color_orientation(net, colors)
+        succ = orientation_successors(net, colors)
+        for p in net.processes:
+            assert succ[p] == frozenset(digraph.successors(p))
+
+    def test_local_minima_exist(self):
+        net = random_connected(12, 0.3, seed=4)
+        colors = greedy_coloring(net)
+        minima = local_minima(net, colors)
+        assert minima  # a finite order always has a local minimum
+
+    def test_local_minima_are_sources(self):
+        net = random_connected(12, 0.3, seed=4)
+        colors = greedy_coloring(net)
+        digraph = color_orientation(net, colors)
+        for p in local_minima(net, colors):
+            assert digraph.in_degree(p) == 0
+
+    def test_color_rank(self):
+        ranks = color_rank({0: 5, 1: 2, 2: 5, 3: 9})
+        assert ranks == {0: 1, 1: 0, 2: 1, 3: 2}

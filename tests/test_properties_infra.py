@@ -1,0 +1,130 @@
+"""Property-based tests for the infrastructure layers.
+
+Hypothesis-driven invariants on tracing, serialization, tables and the
+message emulation — the parts of the library whose correctness is about
+data handling rather than protocol theory.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Trace, record_run, verify_replay
+from repro.core.serialization import (
+    configuration_from_json,
+    configuration_to_json,
+    decode_pid,
+    encode_pid,
+)
+from repro.core.state import Configuration
+from repro.experiments import format_csv, format_markdown_table, format_table
+from repro.graphs import random_connected
+from repro.mp import PullEmulator
+from repro.protocols import ColoringProtocol
+from repro.viz import sparkline
+
+FAST = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+pid_strategy = st.recursive(
+    st.one_of(
+        st.integers(min_value=-100, max_value=100),
+        st.text(min_size=1, max_size=6),
+    ),
+    lambda children: st.tuples(children, children),
+    max_leaves=4,
+)
+
+
+class TestPidEncodingProperties:
+    @given(pid_strategy)
+    @FAST
+    def test_roundtrip(self, pid):
+        assert decode_pid(encode_pid(pid)) == pid
+
+
+class TestConfigurationSerializationProperties:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=20),
+            st.dictionaries(
+                st.sampled_from(["C", "S", "PR", "M", "cur"]),
+                st.one_of(st.integers(-5, 5), st.booleans(),
+                          st.sampled_from(["Dominator", "dominated"])),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @FAST
+    def test_json_roundtrip_any_states(self, states):
+        config = Configuration(states)
+        again = configuration_from_json(configuration_to_json(config))
+        assert again == config
+
+
+class TestTraceProperties:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=40))
+    @FAST
+    def test_trace_roundtrip_and_replay(self, seed, steps):
+        net = random_connected(8, 0.4, seed=2)
+        factory = lambda: ColoringProtocol.for_network(net)
+        trace = record_run(factory(), net, seed=seed, steps=steps)
+        assert Trace.from_jsonl(trace.to_jsonl()).events == trace.events
+        assert verify_replay(factory, net, trace)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @FAST
+    def test_trace_k_efficiency_never_exceeds_one(self, seed):
+        net = random_connected(8, 0.4, seed=2)
+        trace = record_run(
+            ColoringProtocol.for_network(net), net, seed=seed, steps=30
+        )
+        assert trace.k_efficiency() <= 1
+
+
+class TestTableProperties:
+    cells = st.one_of(
+        st.integers(-10**6, 10**6),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.booleans(),
+        st.text(max_size=12).filter(str.isprintable),
+    )
+
+    @given(st.integers(1, 5), st.integers(0, 6), st.data())
+    @FAST
+    def test_renderers_cover_all_rows(self, cols, nrows, data):
+        headers = [f"h{i}" for i in range(cols)]
+        rows = [
+            [data.draw(self.cells) for _ in range(cols)] for _ in range(nrows)
+        ]
+        ascii_out = format_table(headers, rows)
+        md = format_markdown_table(headers, rows)
+        csv_out = format_csv(headers, rows)
+        assert len(ascii_out.splitlines()) == 2 + nrows
+        assert len(md.splitlines()) == 2 + nrows
+        assert len(csv_out.strip().splitlines()) == 1 + nrows
+
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), max_size=40))
+    @FAST
+    def test_sparkline_length(self, values):
+        assert len(sparkline(values)) == len(values)
+
+
+class TestPullEmulationProperties:
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=6))
+    @FAST
+    def test_messages_exactly_twice_reads(self, seed, rounds):
+        net = random_connected(8, 0.4, seed=5)
+        emu = PullEmulator(ColoringProtocol.for_network(net), net, seed=seed)
+        emu.run_rounds(rounds)
+        assert emu.stats.messages == 2 * emu.sim.metrics.total_reads

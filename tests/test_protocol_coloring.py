@@ -1,0 +1,151 @@
+"""Tests for protocol COLORING (Figure 7, Theorem 3, Lemmas 1–2)."""
+
+import pytest
+
+from repro.core import Configuration, Simulator, SynchronousScheduler
+from repro.graphs import chain, clique, grid, random_connected, ring, star
+from repro.predicates import coloring_predicate, conflict_count
+from repro.protocols import ColoringProtocol
+
+
+class TestStructure:
+    def test_palette_is_delta_plus_one(self):
+        net = star(5)
+        proto = ColoringProtocol.for_network(net)
+        assert len(proto.palette) == net.max_degree + 1
+
+    def test_variable_declarations(self):
+        net = chain(3)
+        proto = ColoringProtocol.for_network(net)
+        specs = {s.name: s for s in proto.variables(net, 1)}
+        assert specs["C"].kind == "comm"
+        assert specs["cur"].kind == "internal"
+        assert len(specs["cur"].domain) == net.degree(1)
+
+    def test_two_actions_priority_order(self):
+        proto = ColoringProtocol(palette_size=3)
+        names = [a.name for a in proto.actions()]
+        assert names == ["recolor", "advance"]
+
+    def test_rejects_tiny_palette(self):
+        with pytest.raises(ValueError):
+            ColoringProtocol(palette_size=1)
+
+    def test_color_of_output_function(self):
+        net = chain(2)
+        proto = ColoringProtocol(palette_size=3)
+        config = Configuration({0: {"C": 2, "cur": 1}, 1: {"C": 3, "cur": 1}})
+        assert proto.color_of(config, 0) == 2
+
+
+class TestStabilization:
+    """Theorem 3: stabilizes with probability 1 in anonymous networks."""
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: chain(8),
+            lambda: ring(9),
+            lambda: star(6),
+            lambda: clique(5),
+            lambda: grid(3, 4),
+            lambda: random_connected(16, 0.3, seed=2),
+        ],
+        ids=["chain8", "ring9", "star6", "clique5", "grid3x4", "gnp16"],
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_stabilizes_on_family(self, maker, seed):
+        net = maker()
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=seed)
+        report = sim.run_until_silent(max_rounds=20_000)
+        assert report.stabilized
+
+    def test_stabilizes_under_every_scheduler(self, any_scheduler):
+        net = random_connected(12, 0.3, seed=5)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, scheduler=any_scheduler, seed=3)
+        report = sim.run_until_silent(max_rounds=50_000)
+        assert report.stabilized
+
+    def test_clique_uses_all_colors(self):
+        """A Δ-clique needs the full Δ+1 palette (§5.1's minimality)."""
+        net = clique(5)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=8)
+        sim.run_until_silent(max_rounds=20_000)
+        colors = {sim.config.get(p, "C") for p in net.processes}
+        assert len(colors) == 5
+
+    def test_bigger_palette_also_works(self):
+        net = ring(8)
+        proto = ColoringProtocol.for_network(net, extra_colors=3)
+        sim = Simulator(proto, net, seed=8)
+        assert sim.run_until_silent(max_rounds=20_000).stabilized
+
+
+class TestClosure:
+    """Lemma 1: the coloring predicate is closed."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_predicate_never_breaks_once_true(self, seed):
+        net = random_connected(10, 0.35, seed=seed)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=seed)
+        sim.run_until_legitimate(max_rounds=20_000)
+        for _ in range(60):
+            sim.step()
+            assert coloring_predicate(net, sim.config)
+
+
+class TestConflictPotential:
+    """Lemma 2's potential argument: conflicts reach 0 and stay there."""
+
+    def test_conflicts_reach_zero(self):
+        net = random_connected(12, 0.3, seed=9)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=9)
+        sim.run_until_silent(max_rounds=20_000)
+        assert conflict_count(net, sim.config) == 0
+
+    def test_all_same_color_worst_case(self):
+        """The canonical transient fault: everyone shares one color."""
+        net = ring(8)
+        proto = ColoringProtocol.for_network(net)
+        config = Configuration(
+            {p: {"C": 1, "cur": 1} for p in net.processes}
+        )
+        sim = Simulator(proto, net, seed=11, config=config)
+        report = sim.run_until_silent(max_rounds=20_000)
+        assert report.stabilized
+
+
+class TestEfficiency:
+    """1-efficiency (Definition 4): at most one neighbor read per step."""
+
+    def test_one_efficient_during_convergence(self, any_scheduler):
+        net = random_connected(14, 0.3, seed=1)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, scheduler=any_scheduler, seed=13)
+        sim.run_until_silent(max_rounds=50_000)
+        assert sim.metrics.observed_k_efficiency() == 1
+
+    def test_one_efficient_after_silence(self):
+        net = ring(8)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=2)
+        sim.run_until_silent(max_rounds=20_000)
+        sim.metrics.max_reads_in_step = 0
+        sim.run_rounds(20)
+        assert sim.metrics.observed_k_efficiency() == 1
+
+    def test_scans_all_neighbors_eventually(self):
+        """COLORING is 1-efficient but NOT ♦-1-stable: the round-robin
+        pointer visits every neighbor forever (why Theorem 1 is not
+        contradicted)."""
+        net = ring(8)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=2)
+        sim.run_until_silent(max_rounds=20_000)
+        suffix = sim.measure_suffix_stability(extra_rounds=10)
+        assert all(len(ports) == net.degree(p) for p, ports in suffix.items())

@@ -1,0 +1,202 @@
+"""Tests for protocol MIS (Figure 8, Theorems 5–6, Lemmas 3–4)."""
+
+import pytest
+
+from repro.analysis import mis_round_bound, mis_stability_bound
+from repro.core import Simulator
+from repro.graphs import (
+    chain,
+    clique,
+    figure9_path,
+    greedy_coloring,
+    grid,
+    random_connected,
+    random_tree,
+    ring,
+    star,
+)
+from repro.predicates import (
+    DOMINATOR,
+    dominators,
+    is_maximal_independent_set,
+    mis_predicate,
+)
+from repro.protocols import MISProtocol
+
+FAMILIES = {
+    "chain8": lambda: chain(8),
+    "ring9": lambda: ring(9),
+    "star6": lambda: star(6),
+    "clique5": lambda: clique(5),
+    "grid3x4": lambda: grid(3, 4),
+    "gnp16": lambda: random_connected(16, 0.3, seed=2),
+    "tree12": lambda: random_tree(12, seed=4),
+}
+
+
+def make(net):
+    return MISProtocol(net, greedy_coloring(net))
+
+
+class TestStructure:
+    def test_variable_kinds(self):
+        net = chain(3)
+        proto = make(net)
+        kinds = {s.name: s.kind for s in proto.variables(net, 1)}
+        assert kinds == {"S": "comm", "C": "const", "cur": "internal"}
+
+    def test_rejects_improper_coloring(self):
+        net = chain(3)
+        from repro.core.exceptions import TopologyError
+
+        with pytest.raises(TopologyError):
+            MISProtocol(net, {0: 1, 1: 1, 2: 1})
+
+    def test_action_priority_order(self):
+        net = chain(3)
+        names = [a.name for a in make(net).actions()]
+        assert names == ["yield", "claim", "patrol"]
+
+    def test_output_function(self):
+        net = chain(2)
+        proto = MISProtocol(net, {0: 1, 1: 2})
+        config = proto.arbitrary_configuration(net)
+        config.set(0, "S", DOMINATOR)
+        assert proto.in_mis(config, 0)
+
+
+class TestStabilization:
+    """Theorem 5: stabilizes to the MIS predicate, deterministically."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES), ids=sorted(FAMILIES))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_stabilizes(self, family, seed):
+        net = FAMILIES[family]()
+        proto = make(net)
+        sim = Simulator(proto, net, seed=seed)
+        report = sim.run_until_silent(max_rounds=20_000)
+        assert report.stabilized
+
+    def test_stabilizes_under_every_scheduler(self, any_scheduler):
+        net = random_connected(12, 0.3, seed=6)
+        sim = Simulator(make(net), net, scheduler=any_scheduler, seed=3)
+        assert sim.run_until_silent(max_rounds=50_000).stabilized
+
+    def test_result_is_maximal_independent_set(self):
+        net = random_connected(15, 0.3, seed=8)
+        proto = make(net)
+        sim = Simulator(proto, net, seed=1)
+        sim.run_until_silent(max_rounds=20_000)
+        assert is_maximal_independent_set(
+            net, proto.independent_set(net, sim.config)
+        )
+
+    def test_deterministic_replay(self):
+        net = random_connected(12, 0.3, seed=7)
+        outcomes = []
+        for _ in range(2):
+            sim = Simulator(make(net), net, seed=42)
+            sim.run_until_silent(max_rounds=20_000)
+            outcomes.append(dominators(net, sim.config))
+        assert outcomes[0] == outcomes[1]
+
+    def test_local_minima_always_dominate(self):
+        """Lemma 4's base case: rank-0 processes end as Dominators."""
+        from repro.graphs import local_minima
+
+        net = random_connected(14, 0.3, seed=3)
+        colors = greedy_coloring(net)
+        proto = MISProtocol(net, colors)
+        sim = Simulator(proto, net, seed=5)
+        sim.run_until_silent(max_rounds=20_000)
+        doms = dominators(net, sim.config)
+        for p in local_minima(net, colors):
+            assert p in doms
+
+
+class TestRoundBound:
+    """Lemma 4: silence within Δ·#C rounds (under synchronous steps the
+    round count is exact and the bound must hold)."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES), ids=sorted(FAMILIES))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_rounds_within_bound(self, family, seed):
+        net = FAMILIES[family]()
+        colors = greedy_coloring(net)
+        proto = MISProtocol(net, colors)
+        sim = Simulator(proto, net, seed=seed)
+        report = sim.run_until_silent(max_rounds=20_000)
+        assert report.rounds <= mis_round_bound(net, colors)
+
+
+class TestSilenceProperties:
+    """Lemma 3: silent configurations satisfy the MIS predicate."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_silent_implies_legitimate(self, seed):
+        net = random_connected(12, 0.35, seed=seed)
+        proto = make(net)
+        sim = Simulator(proto, net, seed=seed + 10)
+        report = sim.run_until_silent(max_rounds=20_000)
+        assert report.silent and report.legitimate
+
+    def test_comm_state_frozen_after_silence(self):
+        net = random_connected(12, 0.3, seed=11)
+        proto = make(net)
+        sim = Simulator(proto, net, seed=4)
+        sim.run_until_silent(max_rounds=20_000)
+        specs = proto.specs_of(net)
+        before = sim.config.comm_projection(specs)
+        sim.run_rounds(15)
+        assert sim.config.comm_projection(specs) == before
+
+
+class TestEfficiencyAndStability:
+    def test_one_efficient(self, any_scheduler):
+        net = random_connected(12, 0.3, seed=2)
+        sim = Simulator(make(net), net, scheduler=any_scheduler, seed=6)
+        sim.run_until_silent(max_rounds=50_000)
+        assert sim.metrics.observed_k_efficiency() == 1
+
+    @pytest.mark.parametrize(
+        "maker", [lambda: figure9_path(7), lambda: chain(10), lambda: ring(8)],
+        ids=["fig9", "chain10", "ring8"],
+    )
+    def test_stability_bound_theorem6(self, maker):
+        """♦-(⌊(L_max+1)/2⌋, 1)-stability: at least that many processes
+        eventually read a single neighbor forever."""
+        net = maker()
+        proto = make(net)
+        sim = Simulator(proto, net, seed=3)
+        sim.run_until_silent(max_rounds=20_000)
+        suffix = sim.measure_suffix_stability(extra_rounds=25)
+        one_stable = sum(1 for ports in suffix.values() if len(ports) <= 1)
+        bound, exact = mis_stability_bound(net)
+        assert exact
+        assert one_stable >= bound
+
+    def test_dominated_are_the_stable_ones(self):
+        """Theorem 6's mechanism: dominated processes freeze on their
+        Dominator, Dominators keep patrolling all neighbors."""
+        net = chain(9)
+        proto = make(net)
+        sim = Simulator(proto, net, seed=3)
+        sim.run_until_silent(max_rounds=20_000)
+        doms = dominators(net, sim.config)
+        suffix = sim.measure_suffix_stability(extra_rounds=25)
+        for p in net.processes:
+            if p in doms:
+                assert len(suffix[p]) == net.degree(p)
+            else:
+                assert len(suffix[p]) <= 1
+
+    def test_dominated_watch_a_dominator(self):
+        net = chain(9)
+        proto = make(net)
+        sim = Simulator(proto, net, seed=3)
+        sim.run_until_silent(max_rounds=20_000)
+        doms = dominators(net, sim.config)
+        for p in net.processes:
+            if p not in doms:
+                watched = net.neighbor_at(p, sim.config.get(p, "cur"))
+                assert watched in doms

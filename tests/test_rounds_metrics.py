@@ -1,0 +1,111 @@
+"""Unit tests for round tracking and the metrics collector."""
+
+import pytest
+
+from repro.core.metrics import MetricsCollector, StepRecord
+from repro.core.rounds import RoundTracker
+
+
+class TestRoundTracker:
+    def test_round_completes_when_all_selected(self):
+        t = RoundTracker([0, 1, 2])
+        assert not t.record_step([0])
+        assert not t.record_step([1])
+        assert t.record_step([2])
+        assert t.completed_rounds == 1
+
+    def test_synchronous_one_step_per_round(self):
+        t = RoundTracker([0, 1, 2])
+        for i in range(5):
+            assert t.record_step([0, 1, 2])
+        assert t.completed_rounds == 5
+
+    def test_repeated_selection_does_not_advance(self):
+        t = RoundTracker([0, 1])
+        for _ in range(10):
+            t.record_step([0])
+        assert t.completed_rounds == 0
+        assert t.pending == {1}
+
+    def test_overlap_counts_once(self):
+        t = RoundTracker([0, 1, 2])
+        t.record_step([0, 1])
+        assert t.record_step([1, 2])
+        assert t.completed_rounds == 1
+
+    def test_reset(self):
+        t = RoundTracker([0, 1])
+        t.record_step([0, 1])
+        t.record_step([0])
+        t.reset()
+        assert t.completed_rounds == 0 and t.pending == {0, 1}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RoundTracker([])
+
+
+def _record(i, reads, closed=False, bits=None):
+    return StepRecord(
+        index=i,
+        activated=frozenset(reads),
+        executed={p: "a" for p in reads},
+        ports_read={p: frozenset(ports) for p, ports in reads.items()},
+        bits_read=bits or {p: float(len(ports)) for p, ports in reads.items()},
+        closed_round=closed,
+    )
+
+
+class TestMetricsCollector:
+    def test_k_efficiency_is_max_over_steps(self):
+        m = MetricsCollector([0, 1])
+        m.record(_record(0, {0: {1}, 1: {1, 2}}))
+        m.record(_record(1, {0: {2}}))
+        assert m.observed_k_efficiency() == 2
+
+    def test_k_stability_accumulates_distinct_ports(self):
+        m = MetricsCollector([0])
+        m.record(_record(0, {0: {1}}))
+        m.record(_record(1, {0: {2}}))
+        m.record(_record(2, {0: {1}}))
+        assert m.observed_stability() == 2
+
+    def test_rounds_counted(self):
+        m = MetricsCollector([0])
+        m.record(_record(0, {0: {1}}, closed=True))
+        m.record(_record(1, {0: {1}}, closed=False))
+        m.record(_record(2, {0: {1}}, closed=True))
+        assert m.rounds == 2 and m.steps == 3
+
+    def test_bits_max_and_total(self):
+        m = MetricsCollector([0, 1])
+        m.record(_record(0, {0: {1}, 1: {1, 2}}, bits={0: 2.0, 1: 5.0}))
+        assert m.max_bits_in_step == pytest.approx(5.0)
+        assert m.total_bits == pytest.approx(7.0)
+
+    def test_suffix_tracking(self):
+        m = MetricsCollector([0, 1])
+        m.record(_record(0, {0: {1, 2}, 1: {1}}))
+        m.start_suffix()
+        m.record(_record(1, {0: {1}}))
+        stable = m.suffix_stable_processes(k=1)
+        # 0 read only port 1 in the suffix; 1 read nothing.
+        assert set(stable) == {0, 1}
+
+    def test_suffix_requires_arming(self):
+        m = MetricsCollector([0])
+        with pytest.raises(RuntimeError):
+            m.suffix_stable_processes()
+
+    def test_activation_counts(self):
+        m = MetricsCollector([0, 1])
+        m.record(_record(0, {0: set()}))
+        m.record(_record(1, {0: set(), 1: set()}))
+        assert m.activations == {0: 2, 1: 1}
+
+    def test_summary_keys(self):
+        m = MetricsCollector([0])
+        m.record(_record(0, {0: {1}}, closed=True))
+        s = m.summary()
+        assert {"steps", "rounds", "k_efficiency", "max_bits_per_step",
+                "total_bits", "total_reads"} <= set(s)

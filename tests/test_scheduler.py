@@ -1,0 +1,135 @@
+"""Unit tests for the scheduler (daemon) family."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BoundedFairScheduler,
+    CentralScheduler,
+    FixedSequenceScheduler,
+    RandomSubsetScheduler,
+    RoundRobinScheduler,
+    SynchronousScheduler,
+    make_scheduler,
+)
+
+PROCS = list(range(8))
+
+
+def select_many(scheduler, steps=400, seed=0):
+    rng = random.Random(seed)
+    return [scheduler.select(PROCS, rng) for _ in range(steps)]
+
+
+class TestContracts:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            SynchronousScheduler,
+            CentralScheduler,
+            lambda: RandomSubsetScheduler(0.3),
+            RoundRobinScheduler,
+            lambda: BoundedFairScheduler(bound=10),
+        ],
+    )
+    def test_selections_nonempty_and_valid(self, factory):
+        scheduler = factory()
+        for chosen in select_many(scheduler):
+            assert chosen
+            assert set(chosen) <= set(PROCS)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            SynchronousScheduler,
+            CentralScheduler,
+            lambda: RandomSubsetScheduler(0.3),
+            RoundRobinScheduler,
+            lambda: BoundedFairScheduler(bound=10),
+        ],
+    )
+    def test_fairness_over_long_run(self, factory):
+        """Every process selected many times over a long run."""
+        scheduler = factory()
+        counts = {p: 0 for p in PROCS}
+        for chosen in select_many(scheduler, steps=2000, seed=7):
+            for p in chosen:
+                counts[p] += 1
+        assert all(c > 20 for c in counts.values())
+
+
+class TestSynchronous:
+    def test_selects_everyone(self):
+        chosen = SynchronousScheduler().select(PROCS, random.Random(0))
+        assert sorted(chosen) == PROCS
+
+
+class TestCentral:
+    def test_selects_exactly_one(self):
+        s = CentralScheduler()
+        for chosen in select_many(s):
+            assert len(chosen) == 1
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        s = RoundRobinScheduler()
+        rng = random.Random(0)
+        seen = [s.select(PROCS, rng)[0] for _ in range(len(PROCS))]
+        assert seen == PROCS
+
+    def test_reset(self):
+        s = RoundRobinScheduler()
+        rng = random.Random(0)
+        s.select(PROCS, rng)
+        s.reset()
+        assert s.select(PROCS, rng) == [PROCS[0]]
+
+
+class TestBoundedFair:
+    def test_no_starvation_beyond_bound(self):
+        s = BoundedFairScheduler(bound=12, burst=2)
+        rng = random.Random(3)
+        last_seen = {p: 0 for p in PROCS}
+        for step in range(1, 1000):
+            for p in s.select(PROCS, rng):
+                last_seen[p] = step
+            for p in PROCS:
+                assert step - last_seen[p] <= 12 + 1
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            BoundedFairScheduler(bound=0)
+
+
+class TestRandomSubset:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            RandomSubsetScheduler(0.0)
+        with pytest.raises(ValueError):
+            RandomSubsetScheduler(1.5)
+
+    def test_full_probability_selects_all(self):
+        s = RandomSubsetScheduler(1.0)
+        assert sorted(s.select(PROCS, random.Random(0))) == PROCS
+
+
+class TestFixedSequence:
+    def test_replays_then_synchronous(self):
+        s = FixedSequenceScheduler([[0], [1, 2]])
+        rng = random.Random(0)
+        assert s.select(PROCS, rng) == [0]
+        assert s.select(PROCS, rng) == [1, 2]
+        assert sorted(s.select(PROCS, rng)) == PROCS
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in ("synchronous", "central", "random-subset", "round-robin",
+                     "bounded-fair"):
+            assert make_scheduler(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_scheduler("quantum")

@@ -1,0 +1,128 @@
+"""Unit tests for the sound silence (quiescence) checker."""
+
+import pytest
+
+from repro.core import Configuration, is_silent, silence_witness
+from repro.core.silence import process_quiescence_witness
+from repro.graphs import chain, greedy_coloring, ring
+from repro.protocols import ColoringProtocol, MISProtocol
+
+
+def coloring_config(colors):
+    return Configuration(
+        {p: {"C": c, "cur": 1} for p, c in colors.items()}
+    )
+
+
+class TestColoringSilence:
+    def test_proper_coloring_is_silent(self):
+        net = chain(4)
+        proto = ColoringProtocol.for_network(net)
+        config = coloring_config({0: 1, 1: 2, 2: 1, 3: 2})
+        assert is_silent(proto, net, config)
+
+    def test_conflict_is_not_silent(self):
+        net = chain(4)
+        proto = ColoringProtocol.for_network(net)
+        config = coloring_config({0: 1, 1: 1, 2: 2, 3: 1})
+        assert not is_silent(proto, net, config)
+
+    def test_witness_identifies_randomized_rewrite(self):
+        net = chain(3)
+        proto = ColoringProtocol.for_network(net)
+        config = coloring_config({0: 2, 1: 2, 2: 1})
+        witness = silence_witness(proto, net, config)
+        assert witness is not None
+        assert witness.variable == "C"
+        assert witness.randomized
+
+    def test_hidden_conflict_found_through_pointer_walk(self):
+        """A conflict the *current* pointer does not see must still
+        break silence: the walk explores all reachable pointer values."""
+        net = ring(4)
+        proto = ColoringProtocol.for_network(net)
+        # Process 0 conflicts with neighbor 1, but its cur points at 3.
+        config = Configuration(
+            {
+                0: {"C": 1, "cur": net.port_to(0, 3)},
+                1: {"C": 1, "cur": net.port_to(1, 2)},
+                2: {"C": 2, "cur": 1},
+                3: {"C": 3, "cur": 1},
+            }
+        )
+        assert not is_silent(proto, net, config)
+
+    def test_per_process_witness(self):
+        net = chain(3)
+        proto = ColoringProtocol.for_network(net)
+        config = coloring_config({0: 1, 1: 1, 2: 2})
+        assert process_quiescence_witness(proto, net, config, 0) is not None
+        assert process_quiescence_witness(proto, net, config, 2) is None
+
+
+class TestMISSilence:
+    def _setup(self):
+        net = chain(3)
+        colors = greedy_coloring(net)
+        return net, colors, MISProtocol(net, colors)
+
+    def test_legitimate_with_good_pointers_is_silent(self):
+        net, colors, proto = self._setup()
+        # Middle is the greedy Dominator when it has the smallest color.
+        dominator = min(net.processes, key=lambda p: (colors[p], p != 1))
+        # Build: node 1 Dominator, ends dominated pointing at it.
+        config = Configuration(
+            {
+                0: {"S": "dominated" if 1 != 0 else "Dominator", "C": colors[0], "cur": 1},
+                1: {"S": "Dominator", "C": colors[1], "cur": 1},
+                2: {"S": "dominated", "C": colors[2], "cur": 1},
+            }
+        )
+        if colors[1] < colors[0] and colors[1] < colors[2]:
+            assert is_silent(proto, net, config)
+
+    def test_legitimate_but_not_silent(self):
+        """An MIS whose dominated members lack smaller-color Dominator
+        neighbors is legitimate yet NOT a communication fixed point —
+        silence and legitimacy genuinely differ."""
+        net = chain(3)
+        colors = {0: 2, 1: 1, 2: 2}
+        proto = MISProtocol(net, colors)
+        # Ends are Dominators (color 2), middle dominated (color 1):
+        # a valid MIS, but the middle's claim rule can fire (C.1 ≺ C.0).
+        config = Configuration(
+            {
+                0: {"S": "Dominator", "C": 2, "cur": 1},
+                1: {"S": "dominated", "C": 1, "cur": 1},
+                2: {"S": "Dominator", "C": 2, "cur": 1},
+            }
+        )
+        assert proto.is_legitimate(net, config)
+        assert not is_silent(proto, net, config)
+
+    def test_two_adjacent_dominators_not_silent(self):
+        net = chain(3)
+        colors = {0: 1, 1: 2, 2: 1}
+        proto = MISProtocol(net, colors)
+        config = Configuration(
+            {
+                0: {"S": "Dominator", "C": 1, "cur": 1},
+                1: {"S": "Dominator", "C": 2, "cur": 1},
+                2: {"S": "dominated", "C": 1, "cur": 1},
+            }
+        )
+        witness = silence_witness(proto, net, config)
+        assert witness is not None
+        assert witness.process == 1  # the larger color must yield
+        assert not witness.randomized
+
+
+class TestSilenceAfterConvergence:
+    def test_simulator_silent_state_passes_checker(self, small_network):
+        from repro.core import Simulator
+
+        proto = ColoringProtocol.for_network(small_network)
+        sim = Simulator(proto, small_network, seed=5)
+        sim.run_until_silent(max_rounds=5000)
+        assert is_silent(proto, small_network, sim.config)
+        assert proto.is_legitimate(small_network, sim.config)

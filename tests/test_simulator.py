@@ -1,0 +1,159 @@
+"""Unit tests for the step simulator (paper §2 semantics)."""
+
+import pytest
+
+from repro.core import (
+    Configuration,
+    ConvergenceError,
+    FixedSequenceScheduler,
+    Simulator,
+    SynchronousScheduler,
+)
+from repro.graphs import chain, greedy_coloring, ring
+from repro.protocols import ColoringProtocol, MISProtocol
+
+
+class TestStepSemantics:
+    def test_reads_resolve_in_pre_step_configuration(self):
+        """Simultaneous writes: both endpoints of a conflict read γi and
+        may both recolor in the same step (no sequential interleaving)."""
+        net = chain(2)
+        proto = ColoringProtocol(palette_size=2)
+        config = Configuration(
+            {0: {"C": 1, "cur": 1}, 1: {"C": 1, "cur": 1}}
+        )
+        sim = Simulator(
+            proto,
+            net,
+            scheduler=FixedSequenceScheduler([[0, 1]]),
+            seed=3,
+            config=config,
+        )
+        record = sim.step()
+        assert record.executed == {0: "recolor", 1: "recolor"}
+
+    def test_disabled_process_is_noop(self):
+        net = chain(2)
+        proto = ColoringProtocol(palette_size=3)
+        config = Configuration(
+            {0: {"C": 1, "cur": 1}, 1: {"C": 2, "cur": 1}}
+        )
+        sim = Simulator(proto, net, seed=0, config=config)
+        record = sim.step()
+        # Properly colored: only the advance action fires (never None
+        # for COLORING — its two guards partition the state space).
+        assert all(name == "advance" for name in record.executed.values())
+        assert sim.config.get(0, "C") == 1
+
+    def test_round_counting_synchronous(self):
+        net = ring(5)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, scheduler=SynchronousScheduler(), seed=1)
+        sim.run_steps(7)
+        assert sim.round_tracker.completed_rounds == 7
+
+    def test_run_rounds(self):
+        net = ring(5)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=1)
+        steps = sim.run_rounds(3)
+        assert steps == 3  # synchronous default
+        assert sim.round_tracker.completed_rounds == 3
+
+    def test_replayability(self):
+        net = ring(6)
+        results = []
+        for _ in range(2):
+            proto = ColoringProtocol.for_network(net)
+            sim = Simulator(proto, net, seed=99)
+            sim.run_steps(20)
+            results.append(sim.config.as_dict())
+        assert results[0] == results[1]
+
+    def test_seed_changes_trajectory(self):
+        net = ring(6)
+        configs = []
+        for seed in (1, 2):
+            proto = ColoringProtocol.for_network(net)
+            sim = Simulator(proto, net, seed=seed)
+            configs.append(sim.config.as_dict())
+        assert configs[0] != configs[1]
+
+    def test_initial_configuration_validated(self):
+        net = chain(3)
+        proto = ColoringProtocol(palette_size=3)
+        bad = Configuration(
+            {0: {"C": 9, "cur": 1}, 1: {"C": 1, "cur": 1}, 2: {"C": 1, "cur": 1}}
+        )
+        from repro.core import DomainError
+
+        with pytest.raises(DomainError):
+            Simulator(proto, net, config=bad)
+
+    def test_constants_pinned(self):
+        net = chain(3)
+        colors = greedy_coloring(net)
+        proto = MISProtocol(net, colors)
+        bad = proto.arbitrary_configuration(net)
+        bad.set(0, "C", colors[0] % max(colors.values()) + 1)
+        from repro.core import DomainError
+
+        if bad.get(0, "C") != colors[0]:
+            with pytest.raises(DomainError):
+                Simulator(proto, net, config=bad)
+
+
+class TestRunHelpers:
+    def test_run_until_silent_reports(self):
+        net = ring(6)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=4)
+        report = sim.run_until_silent(max_rounds=5000)
+        assert report.silent and report.legitimate and report.stabilized
+        assert report.silent_at_round == report.rounds
+
+    def test_run_until_silent_budget(self):
+        """An unsatisfiable palette can never silence — budget must trip."""
+        net = ring(5)  # odd ring is not 2-colorable
+        proto = ColoringProtocol(palette_size=2)
+        sim = Simulator(proto, net, seed=0)
+        with pytest.raises(ConvergenceError):
+            sim.run_until_silent(max_rounds=30)
+
+    def test_run_until_legitimate(self):
+        net = ring(6)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=4)
+        report = sim.run_until_legitimate(max_rounds=5000)
+        assert report.legitimate
+
+    def test_enabled_processes(self):
+        net = chain(2)
+        proto = ColoringProtocol(palette_size=3)
+        config = Configuration({0: {"C": 1, "cur": 1}, 1: {"C": 1, "cur": 1}})
+        sim = Simulator(proto, net, seed=0, config=config)
+        assert sorted(sim.enabled_processes()) == [0, 1]
+
+    def test_measure_suffix_stability_returns_all_processes(self):
+        net = ring(6)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=4)
+        sim.run_until_silent(max_rounds=5000)
+        sets = sim.measure_suffix_stability(extra_rounds=5)
+        assert set(sets) == set(net.processes)
+
+
+class TestMetricsIntegration:
+    def test_coloring_reads_at_most_one_neighbor(self, any_scheduler):
+        net = ring(8)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, scheduler=any_scheduler, seed=7)
+        sim.run_steps(300)
+        assert sim.metrics.observed_k_efficiency() <= 1
+
+    def test_bits_read_bounded_by_domain(self):
+        net = ring(8)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=7)
+        sim.run_steps(100)
+        assert sim.metrics.max_bits_in_step <= proto.palette.bits + 1e-9

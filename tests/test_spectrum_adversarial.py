@@ -1,0 +1,128 @@
+"""Tests for the MIS window spectrum, adversarial search, CSV export."""
+
+import pytest
+
+from repro.analysis import (
+    AdversarialResult,
+    matching_round_bound,
+    mis_round_bound,
+    search_worst_case,
+)
+from repro.core import Simulator
+from repro.experiments import format_csv, save_csv
+from repro.graphs import clique, greedy_coloring, random_connected, ring
+from repro.predicates import dominators, is_maximal_independent_set
+from repro.protocols import (
+    MISProtocol,
+    MatchingProtocol,
+    WindowMISProtocol,
+)
+
+
+class TestWindowMIS:
+    @pytest.mark.parametrize("k", [1, 2, 3, 8])
+    def test_stabilizes_for_every_k(self, k):
+        net = random_connected(14, 0.3, seed=3)
+        proto = WindowMISProtocol(net, greedy_coloring(net), k)
+        sim = Simulator(proto, net, seed=5)
+        report = sim.run_until_silent(max_rounds=50_000)
+        assert report.stabilized
+        assert is_maximal_independent_set(net, dominators(net, sim.config))
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_exactly_k_efficient(self, k):
+        net = clique(6)
+        proto = WindowMISProtocol(net, greedy_coloring(net), k)
+        sim = Simulator(proto, net, seed=2)
+        sim.run_until_silent(max_rounds=50_000)
+        sim.run_rounds(5)
+        assert sim.metrics.observed_k_efficiency() == k
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_round_bound_still_holds(self, k):
+        """Lemma 4's Δ·#C survives the window generalisation."""
+        net = random_connected(16, 0.3, seed=7)
+        colors = greedy_coloring(net)
+        for seed in range(3):
+            sim = Simulator(WindowMISProtocol(net, colors, k), net, seed=seed)
+            report = sim.run_until_silent(max_rounds=50_000)
+            assert report.rounds <= mis_round_bound(net, colors)
+
+    def test_k1_matches_paper_mis_outcome(self):
+        """k = 1 and protocol MIS produce the same silent dominator set
+        from the same start under the same schedule (they are the same
+        algorithm)."""
+        net = ring(9)
+        colors = greedy_coloring(net)
+        paper = MISProtocol(net, colors)
+        window = WindowMISProtocol(net, colors, 1)
+        start = paper.arbitrary_configuration(net, __import__("random").Random(3))
+        results = []
+        for proto in (paper, window):
+            sim = Simulator(proto, net, seed=8, config=start)
+            sim.run_until_silent(max_rounds=50_000)
+            results.append(dominators(net, sim.config))
+        assert results[0] == results[1]
+
+    def test_invalid_k(self):
+        net = ring(5)
+        with pytest.raises(ValueError):
+            WindowMISProtocol(net, greedy_coloring(net), 0)
+
+
+class TestAdversarialSearch:
+    def test_search_respects_lemma_bounds(self):
+        net = random_connected(12, 0.3, seed=5)
+        result = search_worst_case(
+            lambda n: MISProtocol(n, greedy_coloring(n)), net,
+            trials=12, seed=1,
+        )
+        assert isinstance(result, AdversarialResult)
+        assert 0 <= result.worst_rounds <= mis_round_bound(net, greedy_coloring(net))
+
+    def test_search_matching_within_bound(self):
+        net = random_connected(10, 0.3, seed=6)
+        result = search_worst_case(
+            lambda n: MatchingProtocol(n, greedy_coloring(n)), net,
+            trials=10, seed=2,
+        )
+        assert result.worst_rounds <= matching_round_bound(net)
+
+    def test_search_finds_at_least_average_hardness(self):
+        """The adversarial max is ≥ any single observed run."""
+        net = ring(10)
+        single = Simulator(
+            MISProtocol(net, greedy_coloring(net)), net, seed=0
+        ).run_until_silent(max_rounds=50_000)
+        result = search_worst_case(
+            lambda n: MISProtocol(n, greedy_coloring(n)), net,
+            trials=15, seed=0, relabel_ports=False,
+        )
+        assert result.worst_rounds >= single.rounds
+
+    def test_reproducible(self):
+        net = ring(8)
+        a = search_worst_case(
+            lambda n: MISProtocol(n, greedy_coloring(n)), net, trials=6, seed=9
+        )
+        b = search_worst_case(
+            lambda n: MISProtocol(n, greedy_coloring(n)), net, trials=6, seed=9
+        )
+        assert (a.worst_rounds, a.ports_seed, a.run_seed) == (
+            b.worst_rounds, b.ports_seed, b.run_seed
+        )
+
+
+class TestCSVExport:
+    def test_format_csv(self):
+        out = format_csv(["a", "b"], [[1, 2.5], [True, "x"]])
+        lines = out.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.50"
+        assert lines[2] == "yes,x"
+
+    def test_save_csv(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        save_csv(str(path), ["n", "rounds"], [[8, 3], [16, 5]])
+        content = path.read_text().strip().splitlines()
+        assert content == ["n,rounds", "8,3", "16,5"]

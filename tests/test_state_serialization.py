@@ -1,0 +1,121 @@
+"""Tests for Configuration behaviour and JSON checkpointing."""
+
+import pytest
+
+from repro.core import Configuration, DomainError, Simulator
+from repro.core.serialization import (
+    configuration_from_json,
+    configuration_to_json,
+    decode_pid,
+    encode_pid,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.variables import IntRange, comm, internal
+from repro.graphs import chain, grid
+from repro.protocols import ColoringProtocol
+
+
+class TestConfiguration:
+    def test_equality_is_by_value(self):
+        a = Configuration({0: {"C": 1}, 1: {"C": 2}})
+        b = Configuration({0: {"C": 1}, 1: {"C": 2}})
+        c = Configuration({0: {"C": 1}, 1: {"C": 3}})
+        assert a == b and a != c
+
+    def test_copy_is_independent(self):
+        a = Configuration({0: {"C": 1}})
+        b = a.copy()
+        b.set(0, "C", 9)
+        assert a.get(0, "C") == 1
+
+    def test_constructor_copies_input(self):
+        states = {0: {"C": 1}}
+        a = Configuration(states)
+        states[0]["C"] = 7
+        assert a.get(0, "C") == 1
+
+    def test_comm_projection_hides_internal(self):
+        specs = {0: (comm("C", IntRange(1, 3)), internal("cur", IntRange(1, 2)))}
+        config = Configuration({0: {"C": 2, "cur": 1}})
+        proj = config.comm_projection(specs)
+        assert proj[0] == (("C", 2),)
+
+    def test_comm_state_of_is_hashable(self):
+        specs = (comm("C", IntRange(1, 3)), internal("cur", IntRange(1, 2)))
+        config = Configuration({0: {"C": 2, "cur": 1}})
+        state = config.comm_state_of(0, specs)
+        assert hash(state) == hash((("C", 2),))
+
+    def test_validate_missing_variable(self):
+        specs = {0: (comm("C", IntRange(1, 3)),)}
+        config = Configuration({0: {}})
+        with pytest.raises(DomainError):
+            config.validate(specs)
+
+    def test_validate_out_of_domain(self):
+        specs = {0: (comm("C", IntRange(1, 3)),)}
+        config = Configuration({0: {"C": 9}})
+        with pytest.raises(DomainError):
+            config.validate(specs)
+
+    def test_as_dict_detached(self):
+        a = Configuration({0: {"C": 1}})
+        d = a.as_dict()
+        d[0]["C"] = 5
+        assert a.get(0, "C") == 1
+
+
+class TestPidEncoding:
+    @pytest.mark.parametrize(
+        "pid", [0, -3, "c", ("m", 1), ("l", 2, 3), (("a", 1), "b"), True, None]
+    )
+    def test_roundtrip(self, pid):
+        assert decode_pid(encode_pid(pid)) == pid
+
+    def test_bool_not_confused_with_int(self):
+        assert decode_pid(encode_pid(True)) is True
+        assert decode_pid(encode_pid(1)) == 1
+
+    def test_unsupported_type_raises(self):
+        from repro.core.exceptions import ModelError
+
+        with pytest.raises(ModelError):
+            encode_pid(object())
+
+
+class TestCheckpointing:
+    def test_json_roundtrip_int_ids(self):
+        net = chain(4)
+        proto = ColoringProtocol.for_network(net)
+        config = proto.arbitrary_configuration(net)
+        again = configuration_from_json(configuration_to_json(config))
+        assert again == config
+
+    def test_json_roundtrip_tuple_ids(self):
+        net = grid(3, 3)  # ids are (row, col) tuples
+        proto = ColoringProtocol.for_network(net)
+        config = proto.arbitrary_configuration(net)
+        again = configuration_from_json(configuration_to_json(config))
+        assert again == config
+
+    def test_file_checkpoint(self, tmp_path):
+        net = chain(5)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=3)
+        sim.run_until_silent(max_rounds=10_000)
+        path = tmp_path / "silent.json"
+        save_checkpoint(sim.config, str(path))
+        restored = load_checkpoint(str(path))
+        assert restored == sim.config
+
+    def test_restored_checkpoint_resumes_silent(self, tmp_path):
+        """A checkpoint of a silent configuration restarts silent."""
+        net = chain(5)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=3)
+        sim.run_until_silent(max_rounds=10_000)
+        path = tmp_path / "silent.json"
+        save_checkpoint(sim.config, str(path))
+        sim2 = Simulator(proto, net, seed=0, config=load_checkpoint(str(path)))
+        assert sim2.is_silent()

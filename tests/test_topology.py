@@ -1,0 +1,128 @@
+"""Unit tests for port-numbered networks."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.exceptions import TopologyError
+from repro.graphs import (
+    Network,
+    chain,
+    network_from_edges,
+    relabel_ports_randomly,
+    ring,
+)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            Network(nx.Graph())
+
+    def test_rejects_disconnected(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(TopologyError):
+            Network(g)
+
+    def test_rejects_self_loop(self):
+        g = nx.Graph([(0, 1)])
+        g.add_edge(1, 1)
+        with pytest.raises(TopologyError):
+            Network(g)
+
+    def test_single_node_allowed(self):
+        g = nx.Graph()
+        g.add_node(0)
+        net = Network(g)
+        assert net.n == 1 and net.m == 0 and net.diameter == 0
+
+    def test_from_edges(self):
+        net = network_from_edges([(0, 1), (1, 2)])
+        assert net.n == 3 and net.m == 2
+
+
+class TestPaperNotation:
+    def test_counts(self):
+        net = ring(6)
+        assert net.n == 6 and net.m == 6
+
+    def test_degree(self):
+        net = chain(4)
+        assert net.degree(0) == 1
+        assert net.degree(1) == 2
+
+    def test_max_degree(self):
+        net = chain(5)
+        assert net.max_degree == 2
+
+    def test_diameter(self):
+        assert chain(5).diameter == 4
+        assert ring(6).diameter == 3
+
+    def test_neighbors_in_port_order(self):
+        net = network_from_edges([(0, 1), (0, 2)], ports={0: [2, 1]})
+        assert net.neighbors(0) == (2, 1)
+
+
+class TestPorts:
+    def test_neighbor_at_is_one_based(self):
+        net = network_from_edges([(0, 1), (0, 2)], ports={0: [1, 2]})
+        assert net.neighbor_at(0, 1) == 1
+        assert net.neighbor_at(0, 2) == 2
+
+    def test_neighbor_at_out_of_range(self):
+        net = chain(3)
+        with pytest.raises(TopologyError):
+            net.neighbor_at(0, 2)
+        with pytest.raises(TopologyError):
+            net.neighbor_at(0, 0)
+
+    def test_port_to_inverts_neighbor_at(self):
+        net = ring(5)
+        for p in net.processes:
+            for port in range(1, net.degree(p) + 1):
+                q = net.neighbor_at(p, port)
+                assert net.port_to(p, q) == port
+
+    def test_port_to_non_neighbor(self):
+        net = chain(4)
+        with pytest.raises(TopologyError):
+            net.port_to(0, 3)
+
+    def test_with_ports_rejects_bad_list(self):
+        net = chain(3)
+        with pytest.raises(TopologyError):
+            net.with_ports({1: [0, 0]})
+
+    def test_with_ports_overrides(self):
+        net = chain(3)
+        net2 = net.with_ports({1: [2, 0]})
+        assert net2.neighbor_at(1, 1) == 2
+        # original untouched
+        assert net.neighbor_at(1, 1) in (0, 2)
+
+    def test_random_relabel_preserves_structure(self):
+        net = ring(7)
+        net2 = relabel_ports_randomly(net, random.Random(3))
+        assert net2.n == net.n and net2.m == net.m
+        for p in net2.processes:
+            assert sorted(net2.neighbors(p)) == sorted(net.neighbors(p))
+
+
+class TestQueries:
+    def test_are_neighbors(self):
+        net = chain(4)
+        assert net.are_neighbors(0, 1)
+        assert not net.are_neighbors(0, 2)
+
+    def test_contains_and_len(self):
+        net = chain(4)
+        assert 0 in net and 9 not in net
+        assert len(net) == 4
+
+    def test_nx_graph_is_copy(self):
+        net = chain(3)
+        g = net.nx_graph
+        g.add_edge(0, 2)
+        assert not net.are_neighbors(0, 2)

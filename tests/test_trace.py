@@ -1,0 +1,93 @@
+"""Tests for execution tracing, export and replay verification."""
+
+import pytest
+
+from repro.core import (
+    CentralScheduler,
+    Simulator,
+    Trace,
+    TraceRecorder,
+    record_run,
+    verify_replay,
+)
+from repro.graphs import greedy_coloring, random_connected, ring
+from repro.protocols import ColoringProtocol, MISProtocol
+
+
+class TestRecording:
+    def test_records_one_event_per_step(self):
+        net = ring(6)
+        trace = record_run(ColoringProtocol.for_network(net), net, seed=3, steps=25)
+        assert len(trace) == 25
+        assert [e.step for e in trace.events] == list(range(25))
+
+    def test_rules_match_protocol(self):
+        net = ring(6)
+        trace = record_run(ColoringProtocol.for_network(net), net, seed=3, steps=25)
+        names = {r for e in trace.events for r in e.rules.values()}
+        assert names <= {"recolor", "advance", ""}
+
+    def test_comm_writes_only_on_changes(self):
+        """Once silent, traced events carry no communication writes."""
+        net = ring(6)
+        proto = ColoringProtocol.for_network(net)
+        sim = Simulator(proto, net, seed=4)
+        sim.run_until_silent(max_rounds=10_000)
+        recorder = TraceRecorder(sim, seed=4)
+        recorder.run_steps(15)
+        assert recorder.trace.comm_quiet_suffix() == 15
+
+    def test_trace_k_efficiency(self):
+        net = random_connected(10, 0.4, seed=2)
+        trace = record_run(ColoringProtocol.for_network(net), net, seed=5, steps=40)
+        assert trace.k_efficiency() == 1
+
+    def test_trace_read_sets_accumulate(self):
+        net = ring(5)
+        trace = record_run(ColoringProtocol.for_network(net), net, seed=5, steps=40)
+        # 40 synchronous steps: round-robin pointer visits both ports.
+        assert trace.read_set_of(0) == {1, 2}
+
+
+class TestSerialization:
+    def _roundtrip(self, trace):
+        return Trace.from_jsonl(trace.to_jsonl())
+
+    def test_jsonl_roundtrip(self):
+        net = ring(6)
+        trace = record_run(ColoringProtocol.for_network(net), net, seed=7, steps=12)
+        again = self._roundtrip(trace)
+        assert again.protocol == trace.protocol
+        assert again.seed == trace.seed
+        assert again.events == trace.events
+
+    def test_jsonl_roundtrip_with_mis(self):
+        net = random_connected(8, 0.4, seed=1)
+        colors = greedy_coloring(net)
+        trace = record_run(MISProtocol(net, colors), net, seed=7, steps=12)
+        assert self._roundtrip(trace).events == trace.events
+
+
+class TestReplay:
+    def test_randomized_protocol_replays_exactly(self):
+        net = random_connected(9, 0.4, seed=6)
+        factory = lambda: ColoringProtocol.for_network(net)
+        trace = record_run(factory(), net, seed=11, steps=30)
+        assert verify_replay(factory, net, trace)
+
+    def test_replay_with_stochastic_scheduler(self):
+        net = ring(7)
+        factory = lambda: ColoringProtocol.for_network(net)
+        sched = CentralScheduler
+        sim = Simulator(factory(), net, scheduler=sched(), seed=13)
+        trace = TraceRecorder(sim, seed=13).run_steps(30)
+        assert verify_replay(factory, net, trace, scheduler_factory=sched)
+
+    def test_replay_detects_divergence(self):
+        net = ring(7)
+        factory = lambda: ColoringProtocol.for_network(net)
+        trace = record_run(factory(), net, seed=13, steps=10)
+        # Tamper with the recorded seed: replay must not match (the
+        # initial configuration differs with overwhelming probability).
+        trace.seed = 14
+        assert not verify_replay(factory, net, trace)

@@ -1,0 +1,94 @@
+"""Tests for the local-checking → 1-efficient transformer (§6 prototype)."""
+
+import pytest
+
+from repro.core import Configuration, Simulator
+from repro.graphs import chain, clique, random_connected, ring
+from repro.transformer import (
+    coloring_spec,
+    independence_spec,
+    make_one_efficient,
+)
+
+
+class TestTransformShape:
+    def test_emits_cur_pointer(self):
+        net = ring(5)
+        proto = make_one_efficient(coloring_spec(3))
+        kinds = {s.name: s.kind for s in proto.variables(net, 0)}
+        assert kinds == {"C": "comm", "cur": "internal"}
+
+    def test_action_names(self):
+        proto = make_one_efficient(coloring_spec(3))
+        assert [a.name for a in proto.actions()] == ["correct", "scan"]
+
+    def test_name_suffix(self):
+        proto = make_one_efficient(independence_spec())
+        assert proto.name.endswith("-1eff")
+
+
+class TestTransformedColoring:
+    """The transform of the coloring spec must behave like COLORING."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_stabilizes(self, seed):
+        net = random_connected(12, 0.3, seed=4)
+        proto = make_one_efficient(coloring_spec(net.max_degree + 1))
+        sim = Simulator(proto, net, seed=seed)
+        report = sim.run_until_silent(max_rounds=20_000)
+        assert report.stabilized
+
+    def test_one_efficient(self):
+        net = clique(5)
+        proto = make_one_efficient(coloring_spec(net.max_degree + 1))
+        sim = Simulator(proto, net, seed=3)
+        sim.run_until_silent(max_rounds=20_000)
+        assert sim.metrics.observed_k_efficiency() == 1
+
+    def test_acts_like_protocol_coloring(self):
+        """Same guards, same effects: from the same seed and start, the
+        transformed spec and the hand-written COLORING produce the same
+        computation."""
+        from repro.protocols import ColoringProtocol
+
+        net = ring(7)
+        hand = ColoringProtocol(palette_size=3)
+        auto = make_one_efficient(coloring_spec(3))
+        start = hand.arbitrary_configuration(net, __import__("random").Random(9))
+        sims = []
+        for proto in (hand, auto):
+            sim = Simulator(proto, net, seed=21, config=start)
+            sim.run_steps(60)
+            sims.append(sim.config.as_dict())
+        assert sims[0] == sims[1]
+
+
+class TestTransformedIndependence:
+    def test_stabilizes_to_independent_set(self, any_scheduler):
+        net = random_connected(12, 0.35, seed=6)
+        proto = make_one_efficient(independence_spec())
+        sim = Simulator(proto, net, scheduler=any_scheduler, seed=2)
+        report = sim.run_until_silent(max_rounds=50_000)
+        assert report.stabilized
+        marked = {p for p in net.processes if sim.config.get(p, "IN")}
+        for p, q in net.edges():
+            assert not (p in marked and q in marked)
+
+    def test_all_marked_worst_case(self):
+        net = clique(5)
+        proto = make_one_efficient(independence_spec())
+        config = Configuration(
+            {p: {"IN": True, "cur": 1} for p in net.processes}
+        )
+        sim = Simulator(proto, net, seed=1, config=config)
+        report = sim.run_until_silent(max_rounds=20_000)
+        assert report.stabilized
+
+    def test_one_efficient(self):
+        net = ring(8)
+        proto = make_one_efficient(independence_spec())
+        config = Configuration({p: {"IN": True, "cur": 1} for p in net.processes})
+        sim = Simulator(proto, net, seed=5, config=config)
+        sim.run_until_silent(max_rounds=20_000)
+        sim.run_rounds(3)  # scanning continues after silence
+        assert sim.metrics.observed_k_efficiency() == 1
