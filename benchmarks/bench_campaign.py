@@ -1,0 +1,73 @@
+"""E9 — Campaign runner throughput: serial vs process-pool.
+
+Measures trials/sec of the declarative :class:`repro.api.Campaign`
+executor on a protocols × topologies × seeds grid, serial and fanned
+out over a process pool, so later performance PRs (sharding, caching,
+multi-backend) have a baseline to beat.  Also pins the determinism
+contract that makes fan-out safe: parallel results equal serial
+results row-for-row.
+"""
+
+import os
+
+from repro.api import Campaign
+
+from conftest import print_table
+
+GRID = dict(
+    protocols=["coloring", "mis", "matching"],
+    topologies=[
+        ("ring", {"n": 16}),
+        ("grid", {"rows": 4, "cols": 4}),
+        ("gnp", {"n": 20, "p": 0.2, "seed": 1}),
+    ],
+    schedulers=["synchronous"],
+    seeds=range(4),
+)
+
+WORKERS = min(4, os.cpu_count() or 1)
+
+
+def test_campaign_serial_throughput(benchmark):
+    campaign = Campaign.grid(**GRID)
+
+    def run():
+        return campaign.run(workers=0)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=1)
+    assert outcome.executed == len(campaign)
+    assert all(r.legitimate and r.silent for r in outcome.results)
+    trials_per_sec = len(campaign) / benchmark.stats["mean"]
+    print_table(
+        "E9  campaign throughput (serial)",
+        ["trials", "trials/sec"],
+        [[len(campaign), f"{trials_per_sec:.1f}"]],
+    )
+
+
+def test_campaign_pool_throughput(benchmark):
+    campaign = Campaign.grid(**GRID)
+
+    def run():
+        return campaign.run(workers=WORKERS)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=1)
+    assert outcome.executed == len(campaign)
+    assert all(r.legitimate and r.silent for r in outcome.results)
+    trials_per_sec = len(campaign) / benchmark.stats["mean"]
+    print_table(
+        f"E9  campaign throughput (process pool, {WORKERS} workers)",
+        ["trials", "trials/sec"],
+        [[len(campaign), f"{trials_per_sec:.1f}"]],
+    )
+
+
+def test_campaign_parallel_matches_serial(benchmark):
+    campaign = Campaign.grid(**GRID)
+    serial = campaign.run(workers=0)
+
+    def run():
+        return campaign.run(workers=WORKERS)
+
+    parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert parallel.results == serial.results

@@ -3,44 +3,48 @@
 Claim reproduced: COLORING is 1-efficient and stabilizes w.p. 1 in
 arbitrary anonymous networks; stabilized-phase communication is
 log(Δ+1) bits per process per step.
+
+Experiments are declared through the :mod:`repro.api` layer — topology
+and protocol by name, sweeps as campaigns — so the bench doubles as a
+regression test of the declarative path.
 """
 
 import pytest
 
-from repro import ColoringProtocol, Simulator, clique, random_connected, ring
 from repro.analysis import coloring_communication_bits
-from repro.experiments import run_sweep
+from repro.api import Campaign, ExperimentSpec
 
 from conftest import print_table
 
+TOPOLOGIES = {
+    "ring32": ("ring", {"n": 32}),
+    "gnp48": ("gnp", {"n": 48, "p": 0.12, "seed": 3}),
+    "clique10": ("clique", {"n": 10}),
+}
 
-def _run_to_silence(net, seed):
-    proto = ColoringProtocol.for_network(net)
-    sim = Simulator(proto, net, seed=seed)
+
+def _run_to_silence(topology, params, seed):
+    spec = ExperimentSpec(
+        protocol="coloring", topology=topology, topology_params=params,
+        seed=seed,
+    )
+    sim = spec.build_simulator()
     report = sim.run_until_silent(max_rounds=50_000)
     return sim, report
 
 
-@pytest.mark.parametrize(
-    "maker,label",
-    [
-        (lambda: ring(32), "ring32"),
-        (lambda: random_connected(48, 0.12, seed=3), "gnp48"),
-        (lambda: clique(10), "clique10"),
-    ],
-    ids=["ring32", "gnp48", "clique10"],
-)
-def test_coloring_stabilization(benchmark, maker, label):
-    net = maker()
+@pytest.mark.parametrize("label", sorted(TOPOLOGIES), ids=sorted(TOPOLOGIES))
+def test_coloring_stabilization(benchmark, label):
+    topology, params = TOPOLOGIES[label]
 
     def pipeline():
-        return _run_to_silence(net, seed=7)
+        return _run_to_silence(topology, params, seed=7)
 
     sim, report = benchmark(pipeline)
     assert report.stabilized
     assert sim.metrics.observed_k_efficiency() == 1
     assert sim.metrics.max_bits_in_step <= coloring_communication_bits(
-        net.max_degree
+        sim.network.max_degree
     ) + 1e-9
 
 
@@ -49,20 +53,26 @@ def test_coloring_sweep_table(benchmark):
     sizes = [8, 16, 32, 64]
 
     def sweep():
+        campaign = Campaign.grid(
+            protocols=["coloring"],
+            topologies=[
+                ("gnp", {"n": n, "p": min(0.3, 8.0 / n), "seed": n})
+                for n in sizes
+            ],
+            seeds=range(8),
+        )
+        outcome = campaign.run()
         rows = []
         for n in sizes:
-            net = random_connected(n, min(0.3, 8.0 / n), seed=n)
-            point = run_sweep(
-                f"n={n}",
-                lambda net_: ColoringProtocol.for_network(net_),
-                net,
-                seeds=range(8),
-            )
-            assert point.all_stabilized
-            rows.append(
-                [n, net.max_degree, point.mean("rounds"), point.max("rounds"),
-                 point.max("k_efficiency")]
-            )
+            trials = [r for s, r in outcome
+                      if s.topology_params["n"] == n]
+            assert all(t.legitimate and t.silent for t in trials)
+            rows.append([
+                n, trials[0].delta,
+                sum(t.rounds for t in trials) / len(trials),
+                max(t.rounds for t in trials),
+                max(t.k_efficiency for t in trials),
+            ])
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)

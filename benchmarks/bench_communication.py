@@ -4,33 +4,41 @@ Claims reproduced: in the stabilized phase the 1-efficient protocols
 read one neighbor (log(Δ+1) bits for COLORING) per step while the
 Δ-efficient baselines read the whole neighborhood (Δ·log(Δ+1) bits);
 space complexity of COLORING is 2log(Δ+1)+log(δ.p).
+
+Protocol/baseline pairs are resolved by registry name through
+:mod:`repro.api`, so adding a protocol to the registry automatically
+exposes it to this bench's machinery.
 """
 
 import pytest
 
-from repro import Simulator, random_connected
 from repro.analysis import (
     coloring_communication_bits,
     coloring_space_bits,
     measured_space_bits,
     traditional_coloring_communication_bits,
 )
-from repro.graphs import greedy_coloring
-from repro.protocols import (
-    ColoringProtocol,
-    FullReadColoring,
-    FullReadMIS,
-    FullReadMatching,
-    MISProtocol,
-    MatchingProtocol,
-)
+from repro.api import ExperimentSpec, protocol_registry, topology_registry
 
 from conftest import print_table
 
+NET_SPEC = ("gnp", {"n": 24, "p": 0.2, "seed": 6})
 
-def stabilized_phase_cost(protocol, net, seed=9, extra_rounds=8):
-    """Bits and reads per step after silence."""
-    sim = Simulator(protocol, net, seed=seed)
+#: problem label -> (1-efficient registry name, Δ-efficient registry name)
+PAIRS = [
+    ("coloring", "coloring", "coloring-full"),
+    ("MIS", "mis", "mis-full"),
+    ("matching", "matching", "matching-full"),
+]
+
+
+def stabilized_phase_cost(protocol_name, seed=9, extra_rounds=8):
+    """Bits and reads per step after silence, for a registry protocol."""
+    topology, params = NET_SPEC
+    sim = ExperimentSpec(
+        protocol=protocol_name, topology=topology, topology_params=params,
+        seed=seed, max_rounds=100_000,
+    ).build_simulator()
     sim.run_until_silent(max_rounds=100_000)
     sim.metrics.max_bits_in_step = 0.0
     sim.metrics.max_reads_in_step = 0
@@ -39,28 +47,21 @@ def stabilized_phase_cost(protocol, net, seed=9, extra_rounds=8):
 
 
 def test_stabilized_phase_communication_table(benchmark):
-    net = random_connected(24, 0.2, seed=6)
-    colors = greedy_coloring(net)
+    net = topology_registry.build(NET_SPEC[0], **NET_SPEC[1])
     delta = net.max_degree
-    pairs = [
-        ("coloring", ColoringProtocol.for_network(net),
-         FullReadColoring.for_network(net)),
-        ("MIS", MISProtocol(net, colors), FullReadMIS(net, colors)),
-        ("matching", MatchingProtocol(net, colors), FullReadMatching(net, colors)),
-    ]
 
     def sweep():
         rows = []
-        for problem, efficient, baseline in pairs:
-            r1, b1 = stabilized_phase_cost(efficient, net)
-            r2, b2 = stabilized_phase_cost(baseline, net)
+        for problem, efficient, baseline in PAIRS:
+            r1, b1 = stabilized_phase_cost(efficient)
+            r2, b2 = stabilized_phase_cost(baseline)
             rows.append([problem, r1, f"{b1:.2f}", r2, f"{b2:.2f}",
                          f"{b2 / b1:.1f}x" if b1 else "-"])
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print_table(
-        f"E6  stabilized-phase cost per step (Δ = {net.max_degree}): "
+        f"E6  stabilized-phase cost per step (Δ = {delta}): "
         "1-efficient vs Δ-efficient",
         ["problem", "reads(1eff)", "bits(1eff)", "reads(Δeff)", "bits(Δeff)",
          "ratio"],
@@ -73,11 +74,11 @@ def test_stabilized_phase_communication_table(benchmark):
 
 
 def test_coloring_bits_match_paper_formula(benchmark):
-    net = random_connected(24, 0.2, seed=6)
+    net = topology_registry.build(NET_SPEC[0], **NET_SPEC[1])
     delta = net.max_degree
 
     def measure():
-        return stabilized_phase_cost(ColoringProtocol.for_network(net), net)
+        return stabilized_phase_cost("coloring")
 
     _reads, bits = benchmark(measure)
     assert bits == pytest.approx(coloring_communication_bits(delta))
@@ -88,8 +89,8 @@ def test_coloring_bits_match_paper_formula(benchmark):
 
 def test_coloring_space_formula(benchmark):
     """Definition 6 worked example: 2log(Δ+1)+log(δ.p) bits per process."""
-    net = random_connected(24, 0.2, seed=6)
-    proto = ColoringProtocol.for_network(net)
+    net = topology_registry.build(NET_SPEC[0], **NET_SPEC[1])
+    proto = protocol_registry.build("coloring", net)
 
     def measure():
         return measured_space_bits(proto, net)

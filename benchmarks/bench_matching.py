@@ -3,35 +3,45 @@
 Claims reproduced: MATCHING is 1-efficient, silent, converges within
 (Δ+1)·n+2 rounds, and silent configurations are maximal matchings of
 size at least ⌈m/(2Δ−1)⌉.
+
+Experiments are declared through :mod:`repro.api`; the matching-size
+checks need the final configuration, so those trials materialize a
+simulator from the spec instead of taking the ``TrialResult`` fast
+path.
 """
 
 import pytest
 
-from repro import Simulator, random_connected, ring
 from repro.analysis import matching_round_bound, min_maximal_matching_size
-from repro.graphs import greedy_coloring, grid, random_tree
+from repro.api import ExperimentSpec
 from repro.predicates import is_maximal_matching, matched_edges
-from repro.protocols import MatchingProtocol
 
 from conftest import print_table
 
 FAMILIES = {
-    "ring24": lambda: ring(24),
-    "grid5x5": lambda: grid(5, 5),
-    "tree30": lambda: random_tree(30, seed=2),
-    "gnp40": lambda: random_connected(40, 0.12, seed=5),
+    "ring24": ("ring", {"n": 24}),
+    "grid5x5": ("grid", {"rows": 5, "cols": 5}),
+    "tree30": ("tree", {"n": 30, "seed": 2}),
+    "gnp40": ("gnp", {"n": 40, "p": 0.12, "seed": 5}),
 }
+
+
+def _spec(label, seed=11):
+    topology, params = FAMILIES[label]
+    return ExperimentSpec(
+        protocol="matching", topology=topology, topology_params=params,
+        seed=seed, max_rounds=100_000,
+    )
 
 
 @pytest.mark.parametrize("label", sorted(FAMILIES), ids=sorted(FAMILIES))
 def test_matching_stabilization(benchmark, label):
-    net = FAMILIES[label]()
-    colors = greedy_coloring(net)
+    spec = _spec(label)
+    net = spec.build_network()
 
     def pipeline():
-        proto = MatchingProtocol(net, colors)
-        sim = Simulator(proto, net, seed=11)
-        report = sim.run_until_silent(max_rounds=100_000)
+        sim = spec.build_simulator()
+        report = sim.run_until_silent(max_rounds=spec.max_rounds)
         return sim, report
 
     sim, report = benchmark(pipeline)
@@ -49,13 +59,12 @@ def test_matching_round_bound_table(benchmark):
     def sweep():
         rows = []
         for label in sorted(FAMILIES):
-            net = FAMILIES[label]()
-            colors = greedy_coloring(net)
+            net = _spec(label).build_network()
             bound = matching_round_bound(net)
             worst = 0
             sizes = []
             for seed in range(8):
-                sim = Simulator(MatchingProtocol(net, colors), net, seed=seed)
+                sim = _spec(label, seed=seed).build_simulator()
                 report = sim.run_until_silent(max_rounds=100_000)
                 worst = max(worst, report.rounds)
                 sizes.append(len(matched_edges(net, sim.config)))

@@ -2,34 +2,44 @@
 
 Claims reproduced: MIS is 1-efficient, silent, converges within Δ·#C
 rounds, and its silent configurations are maximal independent sets.
+
+Experiments are declared through :mod:`repro.api` (names + params);
+live networks are only materialized to evaluate the paper-side bound
+Δ·#C and the MIS predicate.
 """
 
 import pytest
 
-from repro import Simulator, random_connected, ring
 from repro.analysis import mis_round_bound
-from repro.graphs import color_count, greedy_coloring, grid, random_tree
+from repro.api import Campaign, ExperimentSpec
+from repro.graphs import color_count, greedy_coloring
 from repro.predicates import dominators, is_maximal_independent_set
-from repro.protocols import MISProtocol
 
 from conftest import print_table
 
 FAMILIES = {
-    "ring24": lambda: ring(24),
-    "grid5x5": lambda: grid(5, 5),
-    "tree30": lambda: random_tree(30, seed=2),
-    "gnp40": lambda: random_connected(40, 0.12, seed=5),
+    "ring24": ("ring", {"n": 24}),
+    "grid5x5": ("grid", {"rows": 5, "cols": 5}),
+    "tree30": ("tree", {"n": 30, "seed": 2}),
+    "gnp40": ("gnp", {"n": 40, "p": 0.12, "seed": 5}),
 }
+
+
+def _spec(label, seed=11):
+    topology, params = FAMILIES[label]
+    return ExperimentSpec(
+        protocol="mis", topology=topology, topology_params=params, seed=seed,
+    )
 
 
 @pytest.mark.parametrize("label", sorted(FAMILIES), ids=sorted(FAMILIES))
 def test_mis_stabilization(benchmark, label):
-    net = FAMILIES[label]()
+    spec = _spec(label)
+    net = spec.build_network()
     colors = greedy_coloring(net)
 
     def pipeline():
-        proto = MISProtocol(net, colors)
-        sim = Simulator(proto, net, seed=11)
+        sim = spec.build_simulator()
         report = sim.run_until_silent(max_rounds=50_000)
         return sim, report
 
@@ -44,19 +54,26 @@ def test_mis_round_bound_table(benchmark):
     """Measured rounds vs Lemma 4's Δ·#C across families and seeds."""
 
     def sweep():
+        outcome = Campaign.grid(
+            protocols=["mis"],
+            topologies=[FAMILIES[label] for label in sorted(FAMILIES)],
+            seeds=range(8),
+        ).run()
         rows = []
         for label in sorted(FAMILIES):
-            net = FAMILIES[label]()
+            topology, params = FAMILIES[label]
+            net = ExperimentSpec(
+                protocol="mis", topology=topology, topology_params=params,
+            ).build_network()
             colors = greedy_coloring(net)
             bound = mis_round_bound(net, colors)
-            worst = 0
-            for seed in range(8):
-                sim = Simulator(MISProtocol(net, colors), net, seed=seed)
-                report = sim.run_until_silent(max_rounds=50_000)
-                worst = max(worst, report.rounds)
+            worst = max(
+                r.rounds for s, r in outcome
+                if (s.topology, s.topology_params) == (topology, params)
+            )
             rows.append(
-                [label, net.n, net.max_degree, color_count(colors), worst, bound,
-                 worst <= bound]
+                [label, net.n, net.max_degree, color_count(colors), worst,
+                 bound, worst <= bound]
             )
         return rows
 

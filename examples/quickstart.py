@@ -4,10 +4,15 @@ Runs protocol COLORING (paper Fig. 7) on an anonymous ring from a
 uniformly corrupted configuration, proves silence with the quiescence
 checker, and prints the communication metrics the paper introduces.
 
+The experiment is *declared*, not hand-wired: protocol and topology are
+registry names, the whole trial is a JSON-serializable
+:class:`repro.ExperimentSpec`, and the live simulator is built from it
+on demand.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import ColoringProtocol, Simulator, ring
+from repro import ExperimentSpec
 from repro.analysis import (
     coloring_communication_bits,
     traditional_coloring_communication_bits,
@@ -15,11 +20,18 @@ from repro.analysis import (
 
 
 def main() -> None:
-    network = ring(12)
-    protocol = ColoringProtocol.for_network(network)  # palette {1..Δ+1}
+    spec = ExperimentSpec(
+        protocol="coloring",          # palette {1..Δ+1}
+        topology="ring",
+        topology_params={"n": 12},
+        seed=2026,
+        max_rounds=10_000,
+    )
+    print(f"spec: {spec.to_json()}")
 
-    sim = Simulator(protocol, network, seed=2026)
-    report = sim.run_until_silent(max_rounds=10_000)
+    sim = spec.build_simulator()
+    report = sim.run_until_silent(max_rounds=spec.max_rounds)
+    network = sim.network
 
     print(f"network: ring of {network.n}, Δ = {network.max_degree}")
     print(f"stabilized: {report.stabilized} after {report.rounds} rounds "
@@ -37,6 +49,12 @@ def main() -> None:
           f"{traditional_coloring_communication_bits(delta):.2f})")
 
     assert report.stabilized and k == 1
+
+    # The same spec as a one-shot, no simulator in sight:
+    result = spec.run()
+    print(f"declarative re-run: rounds={result.rounds} "
+          f"k-efficiency={result.k_efficiency} silent={result.silent}")
+    assert result.rounds == report.rounds
 
 
 if __name__ == "__main__":

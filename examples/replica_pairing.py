@@ -6,6 +6,10 @@ maintains the pairing through arbitrary state corruption while each
 node reads a single neighbor per step; the Δ-efficient baseline
 (Manne et al. style) solves the same problem reading every neighbor.
 
+Both contenders are described declaratively — registry names plus
+parameters in an :class:`repro.ExperimentSpec` — and only materialized
+into simulators to probe their stabilized phase.
+
 The script runs both on the same topology and compares the paper's
 headline metric — bits read per step in the stabilized phase — plus
 Theorem 8's guarantee on how many nodes settle into watching only
@@ -14,17 +18,27 @@ their partner.
 Run:  python examples/replica_pairing.py
 """
 
-from repro import Simulator, random_regular
+from repro import ExperimentSpec
 from repro.analysis import matching_round_bound, matching_stability_bound
-from repro.graphs import greedy_coloring
 from repro.predicates import is_maximal_matching, matched_edges
-from repro.protocols import FullReadMatching, MatchingProtocol
+
+FABRIC = {"n": 20, "d": 4, "seed": 8}   # 4-regular storage fabric
 
 
-def stabilized_bits_per_step(protocol, network, seed):
+def spec_for(protocol: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        protocol=protocol,
+        topology="regular",
+        topology_params=FABRIC,
+        seed=31,
+        max_rounds=100_000,
+    )
+
+
+def stabilized_bits_per_step(spec: ExperimentSpec):
     """Run to silence, then measure the stabilized-phase read cost."""
-    sim = Simulator(protocol, network, seed=seed)
-    report = sim.run_until_silent(max_rounds=100_000)
+    sim = spec.build_simulator()
+    report = sim.run_until_silent(max_rounds=spec.max_rounds)
     sim.metrics.max_bits_in_step = 0.0
     sim.metrics.max_reads_in_step = 0
     sim.run_rounds(10)
@@ -32,16 +46,10 @@ def stabilized_bits_per_step(protocol, network, seed):
 
 
 def main() -> None:
-    network = random_regular(20, 4, seed=8)
-    colors = greedy_coloring(network)
+    sim1, rep1 = stabilized_bits_per_step(spec_for("matching"))
+    simb, repb = stabilized_bits_per_step(spec_for("matching-full"))
+    network = sim1.network
     print(f"storage fabric: n = {network.n}, 4-regular, m = {network.m}")
-
-    sim1, rep1 = stabilized_bits_per_step(
-        MatchingProtocol(network, colors), network, seed=31
-    )
-    simb, repb = stabilized_bits_per_step(
-        FullReadMatching(network, colors), network, seed=31
-    )
 
     pairs = matched_edges(network, sim1.config)
     assert is_maximal_matching(network, pairs)
@@ -56,7 +64,7 @@ def main() -> None:
           f"neighbors, {simb.metrics.max_bits_in_step:.2f} bits")
 
     # Theorem 8: matched replicas watch only their partner.
-    sim = Simulator(MatchingProtocol(network, colors), network, seed=31)
+    sim = spec_for("matching").build_simulator()
     sim.run_until_silent(max_rounds=100_000)
     suffix = sim.measure_suffix_stability(extra_rounds=30)
     settled = sum(1 for ports in suffix.values() if len(ports) <= 1)

@@ -1,7 +1,25 @@
 """repro — reproduction of *Communication Efficiency in Self-Stabilizing
 Silent Protocols* (Devismes, Masuzawa, Tixeuil; ICDCS 2009).
 
-Quickstart::
+Declarative quickstart — experiments are data (names + parameters),
+resolved through registries, runnable in parallel and resumable::
+
+    from repro import Campaign, ExperimentSpec
+
+    result = ExperimentSpec(
+        protocol="coloring", topology="ring",
+        topology_params={"n": 12}, seed=1,
+    ).run()
+    assert result.silent and result.k_efficiency == 1  # ≤1 read/step
+
+    outcome = Campaign.grid(
+        protocols=["coloring", "mis", "matching"],
+        topologies=[("ring", {"n": 24}), ("grid", {"rows": 5, "cols": 5})],
+        schedulers=["synchronous", "central", "locally-central"],
+        seeds=range(32),
+    ).run(jsonl_path="results.jsonl", workers=8)
+
+Imperative core (what the declarative layer builds for you)::
 
     from repro import ColoringProtocol, Simulator, ring
 
@@ -12,6 +30,18 @@ Quickstart::
     assert sim.metrics.observed_k_efficiency() == 1   # reads ≤1 neighbor/step
 """
 
+from .api import (
+    Campaign,
+    CampaignOutcome,
+    ExperimentSpec,
+    load_campaign_results,
+    protocol_registry,
+    register_protocol,
+    register_scheduler,
+    register_topology,
+    scheduler_registry,
+    topology_registry,
+)
 from .core import (
     BoundedFairScheduler,
     CentralScheduler,
@@ -72,9 +102,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BoundedFairScheduler",
+    "Campaign",
+    "CampaignOutcome",
     "CentralScheduler",
     "ColoringProtocol",
     "Configuration",
+    "ExperimentSpec",
     "ConvergenceError",
     "FullReadColoring",
     "FullReadMIS",
@@ -101,8 +134,15 @@ __all__ = [
     "grid",
     "hypercube",
     "is_silent",
+    "load_campaign_results",
     "make_scheduler",
     "matched_edges",
+    "protocol_registry",
+    "register_protocol",
+    "register_scheduler",
+    "register_topology",
+    "scheduler_registry",
+    "topology_registry",
     "matching_over_coloring",
     "matching_predicate",
     "mis_over_coloring",

@@ -1,0 +1,48 @@
+"""Declarative experiment API.
+
+Everything an experiment needs — protocol, topology, scheduler — is
+resolvable by string name through a registry, a whole trial is a frozen
+JSON-serializable :class:`ExperimentSpec`, and a :class:`Campaign`
+expands grids of specs and runs them serially or across processes with
+streaming JSONL output and resume.
+
+>>> from repro.api import Campaign
+>>> outcome = Campaign.grid(
+...     protocols=["coloring"],
+...     topologies=[("ring", {"n": 8})],
+...     seeds=range(2),
+... ).run()
+>>> [r.rounds for r in outcome.results]  # doctest: +SKIP
+[3, 4]
+"""
+
+from .campaign import (
+    Campaign,
+    CampaignOutcome,
+    load_campaign_results,
+)
+from .registry import (
+    Registry,
+    protocol_registry,
+    register_protocol,
+    register_scheduler,
+    register_topology,
+    scheduler_registry,
+    topology_registry,
+)
+from .spec import ExperimentSpec, execute_trial
+
+__all__ = [
+    "Campaign",
+    "CampaignOutcome",
+    "ExperimentSpec",
+    "Registry",
+    "execute_trial",
+    "load_campaign_results",
+    "protocol_registry",
+    "register_protocol",
+    "register_scheduler",
+    "register_topology",
+    "scheduler_registry",
+    "topology_registry",
+]

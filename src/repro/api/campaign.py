@@ -1,0 +1,325 @@
+"""Campaigns: grids of :class:`ExperimentSpec` run serially or in
+parallel, streamed to JSONL, resumable.
+
+A campaign is the paper's experimental method as data — protocols ×
+topologies × schedulers × seeds — with an executor that:
+
+* runs specs serially or on a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (each spec carries its own seed, so parallel results are bit-identical
+  to serial results);
+* streams one JSON line per finished trial to a sink file the moment it
+  completes, so an interrupted campaign loses at most in-flight trials;
+* on restart, skips every spec whose key already appears in the sink.
+
+Usage::
+
+    campaign = Campaign.grid(
+        protocols=["coloring", "mis", "matching"],
+        topologies=[("ring", {"n": 24}), ("grid", {"rows": 5, "cols": 5})],
+        schedulers=["synchronous", "central", "locally-central"],
+        seeds=range(32),
+    )
+    outcome = campaign.run(jsonl_path="results.jsonl", workers=8)
+    for spec, result in outcome:
+        ...
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .spec import ExperimentSpec
+
+#: A grid axis entry: "coloring", ("gnp", {"n": 30, "p": 0.2}), or
+#: {"name": "gnp", "params": {...}}.
+ComponentSpec = Union[str, Tuple[str, Mapping[str, Any]], Mapping[str, Any]]
+
+
+def _normalize_component(item: ComponentSpec) -> Tuple[str, Dict[str, Any]]:
+    if isinstance(item, str):
+        return item, {}
+    if isinstance(item, tuple):
+        name, params = item
+        return name, dict(params or {})
+    if isinstance(item, Mapping):
+        return item["name"], dict(item.get("params") or {})
+    raise TypeError(f"bad component spec: {item!r}")
+
+
+def _run_spec_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool entry point: spec dict in, result dict out."""
+    spec = ExperimentSpec.from_dict(payload)
+    return spec.run().to_dict()
+
+
+@dataclass
+class CampaignOutcome:
+    """What :meth:`Campaign.run` returns.
+
+    ``results`` is aligned row-for-row with ``specs`` (campaign order,
+    independent of completion order under parallel execution).
+    ``executed``/``skipped`` count fresh runs vs. resume hits.
+    """
+
+    specs: List[ExperimentSpec]
+    results: List[Any]  # TrialResult rows, aligned with ``specs``
+    executed: int = 0
+    skipped: int = 0
+
+    def __iter__(self) -> Iterator[Tuple[ExperimentSpec, Any]]:
+        return iter(zip(self.specs, self.results))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+class Campaign:
+    """An ordered collection of specs plus the machinery to run them."""
+
+    def __init__(self, specs: Iterable[ExperimentSpec]):
+        self.specs: List[ExperimentSpec] = list(specs)
+        seen: set = set()
+        dupes = set()
+        for spec in self.specs:
+            key = spec.key()
+            (dupes if key in seen else seen).add(key)
+        if dupes:
+            raise ValueError(f"duplicate specs in campaign: {sorted(dupes)}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def grid(
+        cls,
+        protocols: Sequence[ComponentSpec],
+        topologies: Sequence[ComponentSpec],
+        schedulers: Sequence[ComponentSpec] = ("synchronous",),
+        seeds: Iterable[int] = (0,),
+        max_rounds: int = 50_000,
+    ) -> "Campaign":
+        """The full cross product of the four axes, in a stable order."""
+        specs = []
+        for proto_name, proto_params in map(_normalize_component, protocols):
+            for topo_name, topo_params in map(_normalize_component, topologies):
+                for sched_name, sched_params in map(
+                    _normalize_component, schedulers
+                ):
+                    for seed in seeds:
+                        specs.append(ExperimentSpec(
+                            protocol=proto_name,
+                            protocol_params=proto_params,
+                            topology=topo_name,
+                            topology_params=topo_params,
+                            scheduler=sched_name,
+                            scheduler_params=sched_params,
+                            seed=int(seed),
+                            max_rounds=max_rounds,
+                        ))
+        return cls(specs)
+
+    @classmethod
+    def from_dicts(cls, dicts: Iterable[Mapping[str, Any]]) -> "Campaign":
+        return cls(ExperimentSpec.from_dict(d) for d in dicts)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Campaign":
+        """Parse a JSON document — either a list of spec objects or
+        ``{"grid": {...Campaign.grid kwargs...}}``."""
+        data = json.loads(text)
+        if isinstance(data, Mapping) and "grid" in data:
+            return cls.grid(**data["grid"])
+        if isinstance(data, list):
+            return cls.from_dicts(data)
+        raise ValueError(
+            "campaign JSON must be a list of specs or {'grid': {...}}"
+        )
+
+    @classmethod
+    def from_json_file(cls, path: Union[str, os.PathLike]) -> "Campaign":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [s.to_dict() for s in self.specs]
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dicts(), indent=2, sort_keys=True)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[ExperimentSpec]:
+        return iter(self.specs)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jsonl_path: Optional[Union[str, os.PathLike]] = None,
+        workers: int = 0,
+        resume: bool = True,
+        progress: Optional[Callable[[ExperimentSpec, Any], None]] = None,
+    ) -> CampaignOutcome:
+        """Execute every spec; returns results aligned with the specs.
+
+        Parameters
+        ----------
+        jsonl_path:
+            Sink file.  One ``{"key", "spec", "result"}`` JSON line is
+            appended per finished trial.  Required for resume.
+        workers:
+            ``0``/``1`` runs serially in-process; ``>= 2`` fans out over
+            a process pool of that many workers.  Results are identical
+            either way because every spec carries its own seed.
+        resume:
+            When the sink already holds rows for some spec keys, return
+            those rows instead of re-running the specs.
+        progress:
+            Optional ``(spec, result)`` callback, invoked on completion
+            (resumed rows included), in completion order.
+        """
+        from ..experiments.runner import TrialResult
+
+        completed: Dict[str, Any] = {}
+        if resume and jsonl_path is not None and os.path.exists(jsonl_path):
+            completed = {
+                key: TrialResult.from_dict(row)
+                for key, row in _read_sink(jsonl_path).items()
+            }
+
+        by_key: Dict[str, Any] = {}
+        skipped = 0
+        pending: List[ExperimentSpec] = []
+        for spec in self.specs:
+            key = spec.key()
+            if key in completed:
+                by_key[key] = completed[key]
+                skipped += 1
+                if progress is not None:
+                    progress(spec, completed[key])
+            else:
+                pending.append(spec)
+
+        # Without resume the sink is started over, not appended to —
+        # otherwise re-run rows would shadow (and double-count) old ones.
+        sink = _open_sink(jsonl_path, append=resume)
+        try:
+            if workers and workers >= 2 and len(pending) > 1:
+                runner = self._run_pool(pending, workers)
+            else:
+                runner = self._run_serial(pending)
+            for spec, result in runner:
+                key = spec.key()
+                by_key[key] = result
+                if sink is not None:
+                    sink.write(json.dumps({
+                        "key": key,
+                        "spec": spec.to_dict(),
+                        "result": result.to_dict(),
+                    }, sort_keys=True) + "\n")
+                    sink.flush()
+                if progress is not None:
+                    progress(spec, result)
+        finally:
+            if sink is not None:
+                sink.close()
+
+        return CampaignOutcome(
+            specs=list(self.specs),
+            results=[by_key[s.key()] for s in self.specs],
+            executed=len(pending),
+            skipped=skipped,
+        )
+
+    @staticmethod
+    def _run_serial(pending: Sequence[ExperimentSpec]):
+        for spec in pending:
+            yield spec, spec.run()
+
+    @staticmethod
+    def _run_pool(pending: Sequence[ExperimentSpec], workers: int):
+        from ..experiments.runner import TrialResult
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_spec_payload, spec.to_dict()): spec
+                for spec in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    yield futures[future], TrialResult.from_dict(
+                        future.result()
+                    )
+
+
+# ----------------------------------------------------------------------
+# JSONL sink helpers
+# ----------------------------------------------------------------------
+def _open_sink(path, append: bool = True):
+    if path is None:
+        return None
+    parent = os.path.dirname(os.fspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return open(path, "a" if append else "w", encoding="utf-8")
+
+
+def _read_sink(path) -> Dict[str, Dict[str, Any]]:
+    """Map of spec key -> result dict from a (possibly truncated) sink."""
+    rows: Dict[str, Dict[str, Any]] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                rows[record["key"]] = record["result"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                # A trailing half-written line after a hard kill is
+                # expected; that trial simply re-runs.
+                continue
+    return rows
+
+
+def load_campaign_results(path) -> List[Tuple[ExperimentSpec, Any]]:
+    """Read a sink file back as ``(spec, TrialResult)`` pairs."""
+    from ..experiments.runner import TrialResult
+
+    pairs = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                pairs.append((
+                    ExperimentSpec.from_dict(record["spec"]),
+                    TrialResult.from_dict(record["result"]),
+                ))
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue
+    return pairs

@@ -1,0 +1,155 @@
+"""Frozen, JSON-round-trippable experiment descriptions.
+
+An :class:`ExperimentSpec` pins down one trial completely — protocol,
+topology and scheduler by registry name plus parameters, the seed, and
+the round budget — so experiments can live in files, cross process
+boundaries, and be deduplicated by a stable content key.  No live
+``Protocol``/``Network``/``Scheduler`` object ever appears in user
+code: everything is built on demand from the registries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional
+
+from ..core.simulator import Simulator
+from .registry import protocol_registry, scheduler_registry, topology_registry
+
+
+def _frozen_params(params: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+    """A JSON-clean private copy of a parameter mapping."""
+    params = dict(params or {})
+    # Round-trip through JSON now so that a spec equals its re-parsed
+    # self (tuples become lists, keys become strings) and unserializable
+    # parameters fail loudly at construction, not at campaign time.
+    return json.loads(json.dumps(params, sort_keys=True))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One trial as pure data: names + parameters + seed + budget."""
+
+    protocol: str
+    topology: str
+    scheduler: str = "synchronous"
+    protocol_params: Dict[str, Any] = field(default_factory=dict)
+    topology_params: Dict[str, Any] = field(default_factory=dict)
+    scheduler_params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    max_rounds: int = 50_000
+
+    def __post_init__(self):
+        for name in ("protocol_params", "topology_params", "scheduler_params"):
+            object.__setattr__(self, name, _frozen_params(getattr(self, name)))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "protocol_params": dict(self.protocol_params),
+            "topology": self.topology,
+            "topology_params": dict(self.topology_params),
+            "scheduler": self.scheduler,
+            "scheduler_params": dict(self.scheduler_params),
+            "seed": self.seed,
+            "max_rounds": self.max_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        known = {f: data[f] for f in (
+            "protocol", "protocol_params", "topology", "topology_params",
+            "scheduler", "scheduler_params", "seed", "max_rounds",
+        ) if f in data}
+        unknown = set(data) - set(known)
+        if unknown:
+            raise ValueError(f"unknown ExperimentSpec fields: {sorted(unknown)}")
+        return cls(**known)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def key(self) -> str:
+        """A stable, human-scannable content id (used for resume)."""
+        digest = hashlib.sha256(self.to_json().encode()).hexdigest()[:12]
+        return (f"{self.protocol}/{self.topology}/{self.scheduler}"
+                f"/s{self.seed}/{digest}")
+
+    def variant(self, **overrides) -> "ExperimentSpec":
+        """A copy with some fields replaced (e.g. ``variant(seed=7)``)."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Construction of live objects
+    # ------------------------------------------------------------------
+    def build_network(self):
+        return topology_registry.build(self.topology, **self.topology_params)
+
+    def build_protocol(self, network):
+        return protocol_registry.build(
+            self.protocol, network, **self.protocol_params
+        )
+
+    def build_scheduler(self, network):
+        return scheduler_registry.build(
+            self.scheduler, network, **self.scheduler_params
+        )
+
+    def build_simulator(self) -> Simulator:
+        """A ready-to-run :class:`Simulator` for this spec."""
+        network = self.build_network()
+        return Simulator(
+            self.build_protocol(network),
+            network,
+            scheduler=self.build_scheduler(network),
+            seed=self.seed,
+        )
+
+    def run(self):
+        """Run this spec to silence; returns a ``TrialResult``."""
+        network = self.build_network()
+        return execute_trial(
+            self.build_protocol(network),
+            network,
+            self.build_scheduler(network),
+            seed=self.seed,
+            max_rounds=self.max_rounds,
+        )
+
+
+def execute_trial(protocol, network, scheduler, seed: int = 0,
+                  max_rounds: int = 50_000):
+    """Run one protocol instance to silence and collect its metrics.
+
+    The single execution path shared by :meth:`ExperimentSpec.run`, the
+    campaign workers, and the legacy ``run_trial`` wrapper.
+    """
+    from ..experiments.runner import TrialResult
+
+    sim = Simulator(protocol, network, scheduler=scheduler, seed=seed)
+    report = sim.run_until_silent(max_rounds=max_rounds)
+    summary = sim.metrics.summary()
+    return TrialResult(
+        protocol=protocol.name,
+        scheduler=sim.scheduler.name,
+        n=network.n,
+        m=network.m,
+        delta=network.max_degree,
+        seed=seed,
+        steps=report.steps,
+        rounds=report.rounds,
+        k_efficiency=int(summary["k_efficiency"]),
+        max_bits_per_step=summary["max_bits_per_step"],
+        total_bits=summary["total_bits"],
+        legitimate=report.legitimate,
+        silent=report.silent,
+    )

@@ -7,13 +7,19 @@ Examples::
     python -m repro stability matching --topology chain --n 12
     python -m repro demo thm1-splice
     python -m repro availability coloring --topology grid --n 25
+    python -m repro campaign --protocols coloring mis matching \\
+        --topologies ring:n=24 grid:rows=5,cols=5 gnp:n=30,p=0.2 \\
+        --schedulers synchronous central locally-central \\
+        --seeds 8 --workers 4 --out results.jsonl
+    python -m repro campaign --from-json campaign.json --out results.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .analysis import (
     matching_round_bound,
@@ -22,35 +28,22 @@ from .analysis import (
     mis_round_bound,
     mis_stability_bound,
 )
-from .core import Simulator, make_scheduler
-from .faults import availability_experiment
-from .graphs import (
-    Network,
-    chain,
-    clique,
-    greedy_coloring,
-    grid,
-    random_connected,
-    random_regular,
-    random_tree,
-    ring,
-    star,
-    torus,
+from .api import (
+    Campaign,
+    ExperimentSpec,
+    protocol_registry,
+    scheduler_registry,
+    topology_registry,
 )
+from .experiments import format_table
+from .faults import availability_experiment
+from .graphs import Network, greedy_coloring
 from .impossibility import (
     theorem1_gadget_demo,
     theorem1_overlay_demo,
     theorem1_splice_demo,
     theorem2_demo,
     theorem2_gadget_demo,
-)
-from .protocols import (
-    ColoringProtocol,
-    FullReadColoring,
-    FullReadMIS,
-    FullReadMatching,
-    MISProtocol,
-    MatchingProtocol,
 )
 from .viz import render_coloring, render_matching, render_mis
 
@@ -63,25 +56,56 @@ DEMOS: Dict[str, Callable] = {
 }
 
 
-def build_topology(args) -> Network:
+def topology_params_from_args(args) -> Dict[str, Any]:
+    """Translate the CLI's ``--n``-centric vocabulary into registry params."""
     n = args.n
-    makers: Dict[str, Callable[[], Network]] = {
-        "chain": lambda: chain(n),
-        "ring": lambda: ring(n),
-        "star": lambda: star(max(1, n - 1)),
-        "clique": lambda: clique(n),
-        "grid": lambda: grid(*_near_square(n)),
-        "torus": lambda: torus(*_near_square(max(n, 9))),
-        "tree": lambda: random_tree(n, seed=args.seed),
-        "gnp": lambda: random_connected(n, args.p, seed=args.seed),
-        "regular": lambda: random_regular(n if n % 2 == 0 else n + 1, 3,
-                                          seed=args.seed),
+    makers: Dict[str, Callable[[], Dict[str, Any]]] = {
+        "chain": lambda: {"n": n},
+        "ring": lambda: {"n": n},
+        "star": lambda: {"leaves": max(1, n - 1)},
+        "clique": lambda: {"n": n},
+        "grid": lambda: dict(zip(("rows", "cols"), _near_square(n))),
+        "torus": lambda: dict(zip(("rows", "cols"), _near_square(max(n, 9)))),
+        "tree": lambda: {"n": n, "seed": args.seed},
+        "gnp": lambda: {"n": n, "p": args.p, "seed": args.seed},
+        "regular": lambda: {"n": n if n % 2 == 0 else n + 1, "d": 3,
+                            "seed": args.seed},
     }
     try:
         return makers[args.topology]()
     except KeyError:
         raise SystemExit(f"unknown topology {args.topology!r}; "
                          f"known: {sorted(makers)}")
+
+
+def spec_from_args(args, max_rounds: int = 50_000) -> ExperimentSpec:
+    if args.protocol not in protocol_registry:
+        raise SystemExit(f"unknown protocol {args.protocol!r}; "
+                         f"known: {protocol_registry.names()}")
+    scheduler = getattr(args, "scheduler", None)
+    if scheduler is not None and scheduler not in scheduler_registry:
+        raise SystemExit(f"unknown scheduler {scheduler!r}; "
+                         f"known: {scheduler_registry.names()}")
+    try:
+        return ExperimentSpec(
+            protocol=args.protocol,
+            topology=args.topology,
+            topology_params=topology_params_from_args(args),
+            scheduler=getattr(args, "scheduler", None) or "synchronous",
+            seed=args.seed,
+            max_rounds=max_rounds,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def build_topology(args) -> Network:
+    try:
+        return topology_registry.build(
+            args.topology, **topology_params_from_args(args)
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _near_square(n: int):
@@ -93,25 +117,16 @@ def _near_square(n: int):
 
 
 def build_protocol(name: str, network: Network):
-    colors = greedy_coloring(network)
-    makers = {
-        "coloring": lambda: ColoringProtocol.for_network(network),
-        "mis": lambda: MISProtocol(network, colors),
-        "matching": lambda: MatchingProtocol(network, colors),
-        "coloring-full": lambda: FullReadColoring.for_network(network),
-        "mis-full": lambda: FullReadMIS(network, colors),
-        "matching-full": lambda: FullReadMatching(network, colors),
-    }
     try:
-        return makers[name]()
-    except KeyError:
-        raise SystemExit(f"unknown protocol {name!r}; known: {sorted(makers)}")
+        return protocol_registry.build(name, network)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _render(protocol_name: str, network, config) -> str:
-    if protocol_name.startswith("coloring"):
+    if "coloring" in protocol_name:
         return render_coloring(network, config)
-    if protocol_name.startswith("mis"):
+    if "mis" in protocol_name:
         return render_mis(network, config)
     return render_matching(network, config)
 
@@ -120,10 +135,9 @@ def _render(protocol_name: str, network, config) -> str:
 # Subcommands
 # ----------------------------------------------------------------------
 def cmd_run(args) -> int:
-    network = build_topology(args)
-    protocol = build_protocol(args.protocol, network)
-    scheduler = make_scheduler(args.scheduler) if args.scheduler else None
-    sim = Simulator(protocol, network, scheduler=scheduler, seed=args.seed)
+    spec = spec_from_args(args, max_rounds=args.max_rounds)
+    sim = spec.build_simulator()
+    protocol, network = sim.protocol, sim.network
     report = sim.run_until_silent(max_rounds=args.max_rounds)
     print(f"{protocol.name} on {args.topology} "
           f"(n={network.n}, m={network.m}, Δ={network.max_degree})")
@@ -191,6 +205,92 @@ def cmd_availability(args) -> int:
     return 0
 
 
+def _coerce(text: str):
+    """Parse a CLI parameter value: int, float, bool, or string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_component(entry: str) -> Tuple[str, Dict[str, Any]]:
+    """Parse ``"gnp:n=30,p=0.2"`` into ``("gnp", {"n": 30, "p": 0.2})``."""
+    name, _, tail = entry.partition(":")
+    params: Dict[str, Any] = {}
+    if tail:
+        for pair in tail.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep or not key:
+                raise SystemExit(
+                    f"bad component {entry!r}: expected name:key=value,..."
+                )
+            params[key.strip()] = _coerce(value.strip())
+    return name.strip(), params
+
+
+def cmd_campaign(args) -> int:
+    if args.from_json:
+        try:
+            campaign = Campaign.from_json_file(args.from_json)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"cannot load campaign {args.from_json!r}: {exc}")
+    else:
+        campaign = Campaign.grid(
+            protocols=[parse_component(p) for p in args.protocols],
+            topologies=[parse_component(t) for t in args.topologies],
+            schedulers=[parse_component(s) for s in args.schedulers],
+            seeds=range(args.seeds),
+            max_rounds=args.max_rounds,
+        )
+    print(f"campaign: {len(campaign)} specs "
+          f"({'process pool of ' + str(args.workers) if args.workers >= 2 else 'serial'})")
+
+    def narrate(spec, result):
+        if not args.quiet:
+            print(f"  {spec.key()}: rounds={result.rounds} "
+                  f"steps={result.steps} k-eff={result.k_efficiency} "
+                  f"stabilized={result.legitimate and result.silent}")
+
+    try:
+        outcome = campaign.run(
+            jsonl_path=args.out,
+            workers=args.workers,
+            resume=not args.no_resume,
+            progress=narrate,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    print(f"done: {outcome.executed} executed, {outcome.skipped} resumed"
+          + (f" -> {args.out}" if args.out else ""))
+    rows = []
+    by_point: Dict[Tuple[str, str, str], List] = {}
+    for spec, result in outcome:
+        by_point.setdefault(
+            (spec.protocol, spec.topology, spec.scheduler), []
+        ).append(result)
+    for (proto, topo, sched), results in sorted(by_point.items()):
+        rows.append([
+            proto, topo, sched, len(results),
+            f"{sum(r.rounds for r in results) / len(results):.1f}",
+            max(r.rounds for r in results),
+            max(r.k_efficiency for r in results),
+            all(r.legitimate and r.silent for r in results),
+        ])
+    print(format_table(
+        ["protocol", "topology", "scheduler", "trials", "mean rounds",
+         "max rounds", "k-eff", "all stabilized"],
+        rows,
+        title="campaign summary",
+    ))
+    return 0 if all(r.legitimate and r.silent for r in outcome.results) else 1
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -201,7 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p):
-        p.add_argument("protocol", help="coloring | mis | matching | *-full")
+        p.add_argument("protocol", help=" | ".join(protocol_registry.names()))
         p.add_argument("--topology", default="ring")
         p.add_argument("--n", type=int, default=12)
         p.add_argument("--p", type=float, default=0.25,
@@ -211,8 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run a protocol to silence")
     add_common(run)
     run.add_argument("--scheduler", default=None,
-                     help="synchronous | central | random-subset | "
-                          "round-robin | bounded-fair")
+                     help=" | ".join(scheduler_registry.names()))
     run.add_argument("--max-rounds", type=int, default=100_000)
     run.add_argument("--render", action="store_true")
     run.set_defaults(fn=cmd_run)
@@ -235,6 +334,33 @@ def build_parser() -> argparse.ArgumentParser:
     avail.add_argument("--fault-fraction", type=float, default=0.2)
     avail.add_argument("--total-rounds", type=int, default=150)
     avail.set_defaults(fn=cmd_availability)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a protocols x topologies x schedulers x seeds grid",
+        description="Each axis entry is name or name:key=value,key=value "
+                    "(e.g. gnp:n=30,p=0.2). With --out, one JSON line is "
+                    "written per trial and completed trials are skipped "
+                    "on re-run (resume).",
+    )
+    camp.add_argument("--protocols", nargs="+", default=["coloring"])
+    camp.add_argument("--topologies", nargs="+", default=["ring:n=12"])
+    camp.add_argument("--schedulers", nargs="+", default=["synchronous"],
+                      help=" | ".join(scheduler_registry.names()))
+    camp.add_argument("--seeds", type=int, default=4,
+                      help="number of seeds (0..seeds-1) per grid point")
+    camp.add_argument("--max-rounds", type=int, default=50_000)
+    camp.add_argument("--workers", type=int, default=0,
+                      help=">=2 fans trials out over a process pool")
+    camp.add_argument("--out", default=None, help="JSONL sink path")
+    camp.add_argument("--no-resume", action="store_true",
+                      help="re-run specs already present in --out")
+    camp.add_argument("--from-json", default=None,
+                      help="load specs (or {'grid': ...}) from a JSON file "
+                           "instead of the axis flags")
+    camp.add_argument("--quiet", action="store_true",
+                      help="suppress per-trial lines")
+    camp.set_defaults(fn=cmd_campaign)
 
     return parser
 

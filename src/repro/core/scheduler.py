@@ -11,6 +11,7 @@ probe worst-case behaviour while staying inside the fairness contract.
 
 from __future__ import annotations
 
+import inspect
 import random
 from abc import ABC, abstractmethod
 from typing import Hashable, List, Optional, Sequence, Set
@@ -193,15 +194,28 @@ DEFAULT_SCHEDULERS = (
     RandomSubsetScheduler,
     RoundRobinScheduler,
     BoundedFairScheduler,
+    FixedSequenceScheduler,
+    LocallyCentralScheduler,
 )
 
 
 def make_scheduler(name: str, **kwargs) -> Scheduler:
-    """Factory by name (used by examples and the benchmark harness)."""
+    """Factory by name (used by examples and the benchmark harness).
+
+    Covers every scheduler in this module.  ``fixed-sequence`` needs a
+    ``sequence=`` kwarg and ``locally-central`` a ``network=`` kwarg;
+    the :mod:`repro.api` scheduler registry injects the network lazily
+    at :class:`~repro.core.simulator.Simulator` build time.
+    """
     table = {cls.name: cls for cls in DEFAULT_SCHEDULERS}
     try:
-        return table[name](**kwargs)
+        cls = table[name]
     except KeyError:
         raise ValueError(
             f"unknown scheduler {name!r}; known: {sorted(table)}"
         ) from None
+    try:
+        inspect.signature(cls).bind(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"bad parameters for scheduler {name!r}: {exc}") from None
+    return cls(**kwargs)

@@ -79,6 +79,10 @@ class Simulator:
         self.protocol = protocol
         self.network = network
         self.scheduler = scheduler or SynchronousScheduler()
+        # A reused stateful scheduler (round-robin pointer, bounded-fair
+        # starvation counters, scripted prefix) must not carry pacing
+        # state from a previous simulator into this run.
+        self.scheduler.reset()
         self.rng = random.Random(seed)
         self.specs_of = protocol.specs_of(network)
         self._actions = protocol.actions()

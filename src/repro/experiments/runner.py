@@ -4,17 +4,23 @@ One *trial* = one protocol on one network under one scheduler from one
 corrupted start, run to silence with full metric collection.  Sweeps
 aggregate many trials (means, maxima) so benches can print one table row
 per parameter point, paper-formula next to measured value.
+
+Since the declarative API landed, :func:`run_trial` and
+:func:`run_sweep` are thin back-compat wrappers: the canonical
+execution path is :func:`repro.api.execute_trial`, and new code should
+describe experiments with :class:`repro.api.ExperimentSpec` /
+:class:`repro.api.Campaign` instead of object factories.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..core.protocol import Protocol
 from ..core.scheduler import Scheduler, SynchronousScheduler
-from ..core.simulator import Simulator
 from ..graphs.topology import Network
 
 ProtocolFactory = Callable[[Network], Protocol]
@@ -39,6 +45,13 @@ class TrialResult:
     legitimate: bool
     silent: bool
 
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrialResult":
+        return cls(**{f.name: data[f.name] for f in dataclasses.fields(cls)})
+
 
 def run_trial(
     protocol: Protocol,
@@ -47,26 +60,18 @@ def run_trial(
     seed: int = 0,
     max_rounds: int = 50_000,
 ) -> TrialResult:
-    """Run one protocol instance to silence and collect its metrics."""
-    scheduler = scheduler or SynchronousScheduler()
-    scheduler.reset()
-    sim = Simulator(protocol, network, scheduler=scheduler, seed=seed)
-    report = sim.run_until_silent(max_rounds=max_rounds)
-    summary = sim.metrics.summary()
-    return TrialResult(
-        protocol=protocol.name,
-        scheduler=scheduler.name,
-        n=network.n,
-        m=network.m,
-        delta=network.max_degree,
+    """Run one protocol instance to silence and collect its metrics.
+
+    Back-compat wrapper over :func:`repro.api.execute_trial`.
+    """
+    from ..api.spec import execute_trial
+
+    return execute_trial(
+        protocol,
+        network,
+        scheduler or SynchronousScheduler(),
         seed=seed,
-        steps=report.steps,
-        rounds=report.rounds,
-        k_efficiency=int(summary["k_efficiency"]),
-        max_bits_per_step=summary["max_bits_per_step"],
-        total_bits=summary["total_bits"],
-        legitimate=report.legitimate,
-        silent=report.silent,
+        max_rounds=max_rounds,
     )
 
 
@@ -106,7 +111,10 @@ def run_sweep(
     scheduler_factory: Optional[SchedulerFactory] = None,
     max_rounds: int = 50_000,
 ) -> SweepPoint:
-    """Run one trial per seed at a fixed parameter point."""
+    """Run one trial per seed at a fixed parameter point.
+
+    Back-compat wrapper; prefer ``Campaign.grid(..., seeds=seeds)``.
+    """
     point = SweepPoint(label=label)
     for seed in seeds:
         protocol = protocol_factory(network)

@@ -1,0 +1,323 @@
+"""Tests for the declarative experiment API (registries, specs,
+campaigns)."""
+
+import json
+
+import pytest
+
+import repro
+from repro.api import (
+    Campaign,
+    ExperimentSpec,
+    Registry,
+    load_campaign_results,
+    protocol_registry,
+    scheduler_registry,
+    topology_registry,
+)
+from repro.core import Scheduler, Simulator, make_scheduler
+from repro.core.scheduler import DEFAULT_SCHEDULERS, RoundRobinScheduler
+from repro.experiments import TrialResult, run_trial
+from repro.graphs import ring
+from repro.protocols import ColoringProtocol
+
+
+class TestRegistry:
+    def test_decorator_registration_and_build(self):
+        reg = Registry("widget")
+
+        @reg.register("double")
+        def _double(x):
+            return 2 * x
+
+        assert "double" in reg
+        assert reg.build("double", 21) == 42
+        assert reg.names() == ["double"]
+
+    def test_duplicate_name_rejected(self):
+        reg = Registry("widget")
+        reg.register("x", lambda: 1)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("x", lambda: 2)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            protocol_registry.build("paxos", ring(4))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError, match="bad parameters"):
+            topology_registry.build("ring", sides=5)
+
+    def test_builder_internal_typeerror_propagates(self):
+        # Only argument-binding failures become ValueError; a TypeError
+        # raised inside the builder body keeps its real traceback.
+        reg = Registry("widget")
+
+        @reg.register("buggy")
+        def _buggy():
+            return "a" + 1
+
+        with pytest.raises(TypeError):
+            reg.build("buggy")
+
+
+class TestRegistryCompleteness:
+    """Every exported implementation must be resolvable by name."""
+
+    def test_all_paper_protocols_registered(self):
+        for name in ("coloring", "mis", "matching",
+                     "coloring-full", "mis-full", "matching-full",
+                     "window-coloring", "window-mis"):
+            assert name in protocol_registry
+
+    def test_every_protocol_builds_and_runs(self):
+        for name in protocol_registry:
+            result = ExperimentSpec(
+                protocol=name, topology="ring", topology_params={"n": 6},
+                seed=1,
+            ).run()
+            assert result.silent, name
+
+    def test_every_topology_builds(self):
+        params = {
+            "chain": {"n": 4}, "ring": {"n": 4}, "star": {"leaves": 3},
+            "clique": {"n": 4}, "grid": {"rows": 2, "cols": 3},
+            "torus": {"rows": 3, "cols": 3}, "hypercube": {"dim": 3},
+            "binary-tree": {"height": 2},
+            "caterpillar": {"spine": 3, "legs_per_node": 1},
+            "gnp": {"n": 8, "p": 0.4, "seed": 0},
+            "regular": {"n": 8, "d": 3, "seed": 0},
+            "tree": {"n": 6, "seed": 0},
+        }
+        assert sorted(params) == topology_registry.names()
+        for name, kwargs in params.items():
+            net = topology_registry.build(name, **kwargs)
+            assert net.n >= 2
+
+    def test_every_core_scheduler_registered(self):
+        net = ring(5)
+        assert {cls.name for cls in DEFAULT_SCHEDULERS} == set(
+            scheduler_registry.names()
+        )
+        for name in scheduler_registry:
+            sched = scheduler_registry.build(name, net)
+            assert isinstance(sched, Scheduler)
+            assert sched.name == name
+
+    def test_make_scheduler_covers_all(self):
+        assert make_scheduler("fixed-sequence", sequence=[[0]]).name == \
+            "fixed-sequence"
+        assert make_scheduler("locally-central", network=ring(5)).name == \
+            "locally-central"
+
+
+class TestExperimentSpec:
+    def test_json_round_trip(self):
+        spec = ExperimentSpec(
+            protocol="mis", topology="gnp",
+            topology_params={"n": 20, "p": 0.2, "seed": 4},
+            scheduler="locally-central", scheduler_params={"p_act": 0.7},
+            seed=9, max_rounds=1234,
+        )
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.key() == spec.key()
+
+    def test_dict_round_trip_defaults(self):
+        spec = ExperimentSpec(protocol="coloring", topology="ring",
+                              topology_params={"n": 8})
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown ExperimentSpec"):
+            ExperimentSpec.from_dict({"protocol": "coloring",
+                                      "topology": "ring", "budget": 3})
+
+    def test_key_distinguishes_params_and_seed(self):
+        base = ExperimentSpec(protocol="coloring", topology="ring",
+                              topology_params={"n": 8})
+        assert base.key() != base.variant(seed=1).key()
+        assert base.key() != base.variant(
+            topology_params={"n": 9}).key()
+
+    def test_params_normalized_like_json(self):
+        # Tuples become lists at construction, so a spec equals its
+        # re-parsed self.
+        spec = ExperimentSpec(
+            protocol="coloring", topology="ring",
+            topology_params={"n": 8},
+            scheduler="fixed-sequence",
+            scheduler_params={"sequence": ((0, 1), (2,))},
+        )
+        assert spec.scheduler_params == {"sequence": [[0, 1], [2]]}
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_run_matches_legacy_run_trial(self):
+        net = ring(8)
+        legacy = run_trial(ColoringProtocol.for_network(net), net, seed=5)
+        declarative = ExperimentSpec(
+            protocol="coloring", topology="ring",
+            topology_params={"n": 8}, seed=5,
+        ).run()
+        assert declarative == legacy
+
+    def test_build_simulator_uses_spec_scheduler(self):
+        sim = ExperimentSpec(
+            protocol="coloring", topology="ring", topology_params={"n": 6},
+            scheduler="round-robin",
+        ).build_simulator()
+        assert sim.scheduler.name == "round-robin"
+
+    def test_spec_is_frozen(self):
+        spec = ExperimentSpec(protocol="coloring", topology="ring",
+                              topology_params={"n": 8})
+        with pytest.raises(AttributeError):
+            spec.seed = 3
+
+
+class TestTrialResultSerialization:
+    def test_round_trip(self):
+        result = ExperimentSpec(
+            protocol="coloring", topology="ring", topology_params={"n": 8},
+        ).run()
+        assert TrialResult.from_dict(result.to_dict()) == result
+
+
+class TestCampaign:
+    GRID = dict(
+        protocols=["coloring", "mis"],
+        topologies=[("ring", {"n": 8}), ("grid", {"rows": 3, "cols": 3})],
+        schedulers=["synchronous", "central"],
+        seeds=range(2),
+    )
+
+    def test_grid_expansion_order_and_size(self):
+        campaign = Campaign.grid(**self.GRID)
+        assert len(campaign) == 2 * 2 * 2 * 2
+        keys = [s.key() for s in campaign]
+        assert len(set(keys)) == len(keys)
+        # Stable order: protocol-major, seed-minor.
+        assert campaign.specs[0].protocol == campaign.specs[7].protocol \
+            == "coloring"
+        assert [s.seed for s in campaign.specs[:2]] == [0, 1]
+
+    def test_duplicate_specs_rejected(self):
+        spec = ExperimentSpec(protocol="coloring", topology="ring",
+                              topology_params={"n": 8})
+        with pytest.raises(ValueError, match="duplicate"):
+            Campaign([spec, spec])
+
+    def test_campaign_json_round_trip(self):
+        campaign = Campaign.grid(**self.GRID)
+        clone = Campaign.from_json(campaign.to_json())
+        assert clone.specs == campaign.specs
+
+    def test_serial_run_streams_jsonl(self, tmp_path):
+        sink = tmp_path / "results.jsonl"
+        campaign = Campaign.grid(
+            protocols=["coloring"], topologies=[("ring", {"n": 8})],
+            seeds=range(3),
+        )
+        outcome = campaign.run(jsonl_path=sink)
+        assert outcome.executed == 3 and outcome.skipped == 0
+        rows = [json.loads(line) for line in
+                sink.read_text().splitlines()]
+        assert {row["key"] for row in rows} == \
+            {s.key() for s in campaign}
+        pairs = load_campaign_results(sink)
+        assert [r for _s, r in pairs] == outcome.results
+
+    def test_parallel_equals_serial_row_for_row(self):
+        campaign = Campaign.grid(**self.GRID)
+        serial = campaign.run(workers=0)
+        parallel = campaign.run(workers=2)
+        assert serial.results == parallel.results
+        assert [s.key() for s in serial.specs] == \
+            [s.key() for s in parallel.specs]
+
+    def test_resume_skips_completed_specs(self, tmp_path):
+        sink = tmp_path / "results.jsonl"
+        campaign = Campaign.grid(**self.GRID)
+        # Interrupted first pass: only half the campaign ran.
+        first_half = Campaign(campaign.specs[: len(campaign) // 2])
+        first = first_half.run(jsonl_path=sink)
+        assert first.executed == len(campaign) // 2
+
+        resumed = campaign.run(jsonl_path=sink)
+        assert resumed.skipped == len(campaign) // 2
+        assert resumed.executed == len(campaign) - resumed.skipped
+        # Resumed rows equal fresh rows.
+        fresh = campaign.run(jsonl_path=None)
+        assert resumed.results == fresh.results
+
+    def test_resume_tolerates_truncated_line(self, tmp_path):
+        sink = tmp_path / "results.jsonl"
+        campaign = Campaign.grid(
+            protocols=["coloring"], topologies=[("ring", {"n": 8})],
+            seeds=range(2),
+        )
+        campaign.run(jsonl_path=sink)
+        lines = sink.read_text().splitlines()
+        sink.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        outcome = campaign.run(jsonl_path=sink)
+        assert outcome.skipped == 1 and outcome.executed == 1
+
+    def test_no_resume_reruns_everything(self, tmp_path):
+        sink = tmp_path / "results.jsonl"
+        campaign = Campaign.grid(
+            protocols=["coloring"], topologies=[("ring", {"n": 8})],
+            seeds=range(2),
+        )
+        campaign.run(jsonl_path=sink)
+        outcome = campaign.run(jsonl_path=sink, resume=False)
+        assert outcome.executed == 2 and outcome.skipped == 0
+        # The sink was started over, not appended: no duplicate rows.
+        assert len(sink.read_text().splitlines()) == 2
+        assert len(load_campaign_results(sink)) == 2
+
+    def test_progress_callback_sees_every_spec(self, tmp_path):
+        sink = tmp_path / "results.jsonl"
+        campaign = Campaign.grid(
+            protocols=["coloring"], topologies=[("ring", {"n": 8})],
+            seeds=range(2),
+        )
+        campaign.run(jsonl_path=sink, resume=False)
+        seen = []
+        campaign.run(jsonl_path=sink,
+                     progress=lambda s, r: seen.append(s.key()))
+        assert sorted(seen) == sorted(s.key() for s in campaign)
+
+
+class TestSchedulerStateIsolation:
+    def test_simulator_resets_scheduler_on_build(self):
+        scheduler = RoundRobinScheduler()
+        net = ring(6)
+        sim1 = Simulator(ColoringProtocol.for_network(net), net,
+                         scheduler=scheduler, seed=1)
+        sim1.run_until_silent(max_rounds=1000)
+        assert scheduler._next > 0
+        # Reusing the same scheduler object must not carry the pointer.
+        sim2 = Simulator(ColoringProtocol.for_network(net), net,
+                         scheduler=scheduler, seed=1)
+        assert scheduler._next == 0
+        record = sim2.step()
+        assert record.activated == frozenset([net.processes[0]])
+
+    def test_reused_scheduler_gives_identical_trials(self):
+        scheduler = RoundRobinScheduler()
+        net = ring(6)
+        proto = ColoringProtocol.for_network(net)
+        a = run_trial(proto, net, scheduler=scheduler, seed=3)
+        b = run_trial(proto, net, scheduler=scheduler, seed=3)
+        assert a == b
+
+
+class TestTopLevelExports:
+    def test_api_names_exported_from_repro(self):
+        for name in ("Campaign", "CampaignOutcome", "ExperimentSpec",
+                     "protocol_registry", "topology_registry",
+                     "scheduler_registry", "register_protocol",
+                     "register_topology", "register_scheduler",
+                     "load_campaign_results"):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__

@@ -130,6 +130,27 @@ class TestFactory:
                      "bounded-fair"):
             assert make_scheduler(name).name == name
 
+    def test_covers_every_scheduler_class(self):
+        from repro.core.scheduler import DEFAULT_SCHEDULERS, Scheduler
+
+        subclasses = {cls.name for cls in Scheduler.__subclasses__()}
+        assert subclasses == {cls.name for cls in DEFAULT_SCHEDULERS}
+
+    def test_parameterized_names(self):
+        seq = make_scheduler("fixed-sequence", sequence=[[0], [1]])
+        assert seq.name == "fixed-sequence"
+        local = make_scheduler("locally-central", network=_StubNetwork())
+        assert local.name == "locally-central"
+
+    def test_missing_required_params(self):
+        with pytest.raises(ValueError):
+            make_scheduler("locally-central")
+
     def test_unknown_name(self):
         with pytest.raises(ValueError):
             make_scheduler("quantum")
+
+
+class _StubNetwork:
+    def neighbors(self, p):
+        return []
