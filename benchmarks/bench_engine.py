@@ -1,0 +1,176 @@
+"""E10 — Enabled-set engine throughput: incremental vs full scan.
+
+The 10k-node scale tier.  For COLORING / MIS / MATCHING on 10k-process
+rings, tori and sparse random graphs, measures raw simulator throughput
+(steps/sec) under the enabled-drawing central daemon with the
+``incremental`` engine versus the ``scan`` fallback, and asserts the
+speedup the dirty-set design promises (O(Δ·activated) vs O(n·Δ) per
+step — see docs/performance.md for the argument and recorded numbers).
+
+Run as a pytest bench::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine.py -q           # full 10k tier
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine.py -q --tiny   # CI smoke
+
+or as a plain script::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--tiny] [--n 10000]
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.api import ExperimentSpec
+
+FULL_N = 10_000
+FULL_BUDGET_S = 1.5
+TINY_N = 120
+TINY_BUDGET_S = 0.1
+
+PROTOCOLS = ("coloring", "mis", "matching")
+
+#: the speedup floor asserted at full scale on the ring (the measured
+#: ratio is two orders of magnitude; 3x keeps the guard robust on
+#: loaded CI machines)
+MIN_SPEEDUP = 3.0
+
+
+def topologies(n: int) -> List[Tuple[str, Dict]]:
+    """The scale-tier topology grid at ``n`` processes."""
+    side = max(3, round(n ** 0.5))
+    return [
+        ("ring", {"n": n}),
+        ("torus", {"rows": side, "cols": side}),
+        ("sparse", {"n": n, "avg_degree": 3.0, "seed": 7}),
+    ]
+
+
+def build_spec(protocol: str, topology: str, params: Dict,
+               engine: str) -> ExperimentSpec:
+    """One scale-tier spec: enabled-drawing central daemon, given engine."""
+    return ExperimentSpec(
+        protocol=protocol,
+        topology=topology,
+        topology_params=params,
+        scheduler="central",
+        scheduler_params={"enabled_only": True},
+        seed=1,
+        engine=engine,
+    )
+
+
+def steps_per_sec(spec: ExperimentSpec, budget_s: float) -> float:
+    """Run ``spec``'s simulator for ~budget_s of wall time; steps/sec."""
+    sim = spec.build_simulator()
+    sim.step()  # warm caches outside the timed window
+    steps = 0
+    t0 = time.perf_counter()
+    while True:
+        sim.step()
+        steps += 1
+        elapsed = time.perf_counter() - t0
+        if elapsed >= budget_s:
+            return steps / elapsed
+
+
+def identical_prefix(protocol: str, topology: str, params: Dict,
+                     steps: int = 50) -> bool:
+    """Cheap determinism guard: both engines replay the same steps."""
+    runs = []
+    for engine in ("incremental", "scan"):
+        sim = build_spec(protocol, topology, params, engine).build_simulator()
+        runs.append([sim.step() for _ in range(steps)])
+    return runs[0] == runs[1]
+
+
+def compare_engines(n: int, budget_s: float) -> List[List]:
+    """The bench grid: one row per (topology, protocol) with the speedup."""
+    rows = []
+    for topo_name, params in topologies(n):
+        for protocol in PROTOCOLS:
+            fast = steps_per_sec(
+                build_spec(protocol, topo_name, params, "incremental"),
+                budget_s,
+            )
+            slow = steps_per_sec(
+                build_spec(protocol, topo_name, params, "scan"), budget_s
+            )
+            rows.append([
+                topo_name, protocol, f"{fast:,.0f}", f"{slow:,.0f}",
+                fast / slow,
+            ])
+    return rows
+
+
+def _emit(rows: List[List], n: int) -> None:
+    from conftest import print_table
+
+    print_table(
+        f"E10  engine throughput, n={n} (enabled-drawing central daemon)",
+        ["topology", "protocol", "incremental steps/s", "scan steps/s",
+         "speedup"],
+        [row[:4] + [f"{row[4]:.1f}x"] for row in rows],
+    )
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points
+# ----------------------------------------------------------------------
+def test_engines_replay_identically(tiny):
+    n = TINY_N if tiny else 600  # equivalence check needs steps, not scale
+    for topo_name, params in topologies(n):
+        assert identical_prefix("mis", topo_name, params), topo_name
+    assert identical_prefix("coloring", "ring", {"n": n})
+    assert identical_prefix("matching", "ring", {"n": n})
+
+
+def test_engine_speedup_grid(tiny):
+    n = TINY_N if tiny else FULL_N
+    budget = TINY_BUDGET_S if tiny else FULL_BUDGET_S
+    rows = compare_engines(n, budget)
+    _emit(rows, n)
+    assert all(speedup > 0 for *_front, speedup in rows)
+    if not tiny:
+        # The acceptance bar: >= 3x on the 10k ring under the central
+        # daemon, for every protocol.
+        ring_rows = [row for row in rows if row[0] == "ring"]
+        assert ring_rows and all(row[4] >= MIN_SPEEDUP for row in ring_rows)
+
+
+# ----------------------------------------------------------------------
+# Script entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke sizes (CI)")
+    parser.add_argument("--n", type=int, default=None,
+                        help=f"network size (default {FULL_N}, "
+                             f"or {TINY_N} with --tiny)")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="seconds of stepping per (engine, cell)")
+    args = parser.parse_args(argv)
+
+    n = args.n or (TINY_N if args.tiny else FULL_N)
+    budget = args.budget or (TINY_BUDGET_S if args.tiny else FULL_BUDGET_S)
+    rows = compare_engines(n, budget)
+    print(f"engine comparison at n={n}, {budget:.2f}s per cell:")
+    for topo, proto, fast, slow, speedup in rows:
+        print(f"  {topo:8s} {proto:10s} incremental {fast:>12s}/s   "
+              f"scan {slow:>10s}/s   speedup {speedup:.1f}x")
+    floor_ok = all(
+        speedup >= MIN_SPEEDUP for topo, *_mid, speedup in rows
+        if topo == "ring"
+    )
+    if not args.tiny and not floor_ok:
+        print(f"FAIL: ring speedup below the {MIN_SPEEDUP}x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,22 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--tiny",
+        action="store_true",
+        default=False,
+        help="smoke mode: shrink networks and time budgets so a bench "
+             "exercises its whole pipeline in seconds (used by CI)",
+    )
+
+
+@pytest.fixture
+def tiny(request) -> bool:
+    """True when the bench run should use smoke-test sizes (--tiny)."""
+    return request.config.getoption("--tiny")
+
+
 def print_table(title: str, headers, rows) -> None:
     """Emit a paper-vs-measured table into the captured bench output."""
     from repro.experiments import format_table

@@ -34,8 +34,10 @@ from .api import (
     Campaign,
     CampaignOutcome,
     ExperimentSpec,
+    engine_registry,
     load_campaign_results,
     protocol_registry,
+    register_engine,
     register_protocol,
     register_scheduler,
     register_topology,
@@ -47,15 +49,19 @@ from .core import (
     CentralScheduler,
     Configuration,
     ConvergenceError,
+    EnabledSetEngine,
     GuardedAction,
+    IncrementalEngine,
     Protocol,
     RandomSubsetScheduler,
     RoundRobinScheduler,
+    ScanEngine,
     Scheduler,
     Simulator,
     StabilizationReport,
     SynchronousScheduler,
     is_silent,
+    make_engine,
     make_scheduler,
     silence_witness,
 )
@@ -109,16 +115,19 @@ __all__ = [
     "Configuration",
     "ExperimentSpec",
     "ConvergenceError",
+    "EnabledSetEngine",
     "FullReadColoring",
     "FullReadMIS",
     "FullReadMatching",
     "GuardedAction",
+    "IncrementalEngine",
     "MISProtocol",
     "MatchingProtocol",
     "Network",
     "Protocol",
     "RandomSubsetScheduler",
     "RoundRobinScheduler",
+    "ScanEngine",
     "Scheduler",
     "Simulator",
     "StabilizationReport",
@@ -128,6 +137,7 @@ __all__ = [
     "chain",
     "clique",
     "coloring_predicate",
+    "engine_registry",
     "figure11_graph",
     "figure9_path",
     "greedy_coloring",
@@ -135,9 +145,11 @@ __all__ = [
     "hypercube",
     "is_silent",
     "load_campaign_results",
+    "make_engine",
     "make_scheduler",
     "matched_edges",
     "protocol_registry",
+    "register_engine",
     "register_protocol",
     "register_scheduler",
     "register_topology",

@@ -23,7 +23,9 @@ from .campaign import (
 )
 from .registry import (
     Registry,
+    engine_registry,
     protocol_registry,
+    register_engine,
     register_protocol,
     register_scheduler,
     register_topology,
@@ -37,9 +39,11 @@ __all__ = [
     "CampaignOutcome",
     "ExperimentSpec",
     "Registry",
+    "engine_registry",
     "execute_trial",
     "load_campaign_results",
     "protocol_registry",
+    "register_engine",
     "register_protocol",
     "register_scheduler",
     "register_topology",

@@ -113,8 +113,14 @@ class Campaign:
         schedulers: Sequence[ComponentSpec] = ("synchronous",),
         seeds: Iterable[int] = (0,),
         max_rounds: int = 50_000,
+        engine: str = "incremental",
     ) -> "Campaign":
-        """The full cross product of the four axes, in a stable order."""
+        """The full cross product of the four axes, in a stable order.
+
+        ``engine`` applies to every spec in the grid (it is a run-time
+        strategy, not an experiment axis — all engines produce identical
+        results).
+        """
         specs = []
         for proto_name, proto_params in map(_normalize_component, protocols):
             for topo_name, topo_params in map(_normalize_component, topologies):
@@ -131,6 +137,7 @@ class Campaign:
                             scheduler_params=sched_params,
                             seed=int(seed),
                             max_rounds=max_rounds,
+                            engine=engine,
                         ))
         return cls(specs)
 

@@ -1,8 +1,8 @@
-"""String registries for protocols, topologies, and schedulers.
+"""String registries for protocols, topologies, schedulers, and engines.
 
 The declarative experiment layer needs every component constructible
 from a ``(name, params)`` pair so that a whole campaign is plain data
-(JSON).  Three registries cover the three experiment axes:
+(JSON).  Four registries cover the experiment axes:
 
 * **topologies** — builders ``(**params) -> Network``;
 * **protocols** — builders ``(network, **params) -> Protocol`` (the
@@ -11,7 +11,12 @@ from a ``(name, params)`` pair so that a whole campaign is plain data
 * **schedulers** — builders ``(network, **params) -> Scheduler``.  The
   network argument lets network-aware daemons (the locally central
   scheduler) be described by name alone and constructed lazily at
-  :class:`~repro.core.simulator.Simulator` build time.
+  :class:`~repro.core.simulator.Simulator` build time.  Every built-in
+  daemon that supports drawing from the maintained enabled set accepts
+  ``enabled_only=True`` as a parameter;
+* **engines** — builders ``(**params) -> EnabledSetEngine`` for the
+  enabled-set maintenance strategies of :mod:`repro.core.engine`
+  (``incremental``, ``scan``, ``debug``).
 
 All built-in implementations are pre-registered below, including the
 full-read baselines, the k-window generalisations, and every scheduler
@@ -30,6 +35,7 @@ from __future__ import annotations
 import inspect
 from typing import Callable, Dict, Iterator, List
 
+from ..core.engine import CrossCheckEngine, IncrementalEngine, ScanEngine
 from ..core.scheduler import (
     BoundedFairScheduler,
     CentralScheduler,
@@ -54,6 +60,7 @@ from ..graphs import (
     random_tree,
     ring,
     sequential_coloring,
+    sparse_random,
     star,
     torus,
     welsh_powell_coloring,
@@ -129,10 +136,12 @@ class Registry:
 protocol_registry = Registry("protocol")
 topology_registry = Registry("topology")
 scheduler_registry = Registry("scheduler")
+engine_registry = Registry("engine")
 
 register_protocol = protocol_registry.register
 register_topology = topology_registry.register
 register_scheduler = scheduler_registry.register
+register_engine = engine_registry.register
 
 
 # ----------------------------------------------------------------------
@@ -210,6 +219,7 @@ register_topology("binary-tree", binary_tree)
 register_topology("caterpillar", caterpillar)
 register_topology("gnp", random_connected)
 register_topology("regular", random_regular)
+register_topology("sparse", sparse_random)
 register_topology("tree", random_tree)
 
 
@@ -218,23 +228,23 @@ register_topology("tree", random_tree)
 # network-aware daemons are constructible lazily; the others ignore it.
 # ----------------------------------------------------------------------
 @register_scheduler("synchronous")
-def _synchronous(network):
-    return SynchronousScheduler()
+def _synchronous(network, enabled_only: bool = False):
+    return SynchronousScheduler(enabled_only=enabled_only)
 
 
 @register_scheduler("central")
-def _central(network):
-    return CentralScheduler()
+def _central(network, enabled_only: bool = False):
+    return CentralScheduler(enabled_only=enabled_only)
 
 
 @register_scheduler("random-subset")
-def _random_subset(network, p_act: float = 0.5):
-    return RandomSubsetScheduler(p_act=p_act)
+def _random_subset(network, p_act: float = 0.5, enabled_only: bool = False):
+    return RandomSubsetScheduler(p_act=p_act, enabled_only=enabled_only)
 
 
 @register_scheduler("round-robin")
-def _round_robin(network):
-    return RoundRobinScheduler()
+def _round_robin(network, enabled_only: bool = False):
+    return RoundRobinScheduler(enabled_only=enabled_only)
 
 
 @register_scheduler("bounded-fair")
@@ -248,5 +258,25 @@ def _fixed_sequence(network, sequence=()):
 
 
 @register_scheduler("locally-central")
-def _locally_central(network, p_act: float = 0.5):
-    return LocallyCentralScheduler(network, p_act=p_act)
+def _locally_central(network, p_act: float = 0.5, enabled_only: bool = False):
+    return LocallyCentralScheduler(network, p_act=p_act,
+                                   enabled_only=enabled_only)
+
+
+# ----------------------------------------------------------------------
+# Built-in enabled-set engines — see repro.core.engine for the design
+# and docs/performance.md for the complexity argument.
+# ----------------------------------------------------------------------
+@register_engine("incremental")
+def _incremental_engine():
+    return IncrementalEngine()
+
+
+@register_engine("scan")
+def _scan_engine():
+    return ScanEngine()
+
+
+@register_engine("debug")
+def _debug_engine():
+    return CrossCheckEngine()

@@ -1,8 +1,9 @@
 """Frozen, JSON-round-trippable experiment descriptions.
 
 An :class:`ExperimentSpec` pins down one trial completely — protocol,
-topology and scheduler by registry name plus parameters, the seed, and
-the round budget — so experiments can live in files, cross process
+topology, scheduler and enabled-set engine by registry name plus
+parameters, the seed, and the round budget — so experiments can live in
+files, cross process
 boundaries, and be deduplicated by a stable content key.  No live
 ``Protocol``/``Network``/``Scheduler`` object ever appears in user
 code: everything is built on demand from the registries.
@@ -16,7 +17,12 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional
 
 from ..core.simulator import Simulator
-from .registry import protocol_registry, scheduler_registry, topology_registry
+from .registry import (
+    engine_registry,
+    protocol_registry,
+    scheduler_registry,
+    topology_registry,
+)
 
 
 def _frozen_params(params: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
@@ -40,6 +46,9 @@ class ExperimentSpec:
     scheduler_params: Dict[str, Any] = field(default_factory=dict)
     seed: int = 0
     max_rounds: int = 50_000
+    #: enabled-set maintenance strategy ("incremental" | "scan" |
+    #: "debug"); every engine produces identical executions.
+    engine: str = "incremental"
 
     def __post_init__(self):
         for name in ("protocol_params", "topology_params", "scheduler_params"):
@@ -58,13 +67,14 @@ class ExperimentSpec:
             "scheduler_params": dict(self.scheduler_params),
             "seed": self.seed,
             "max_rounds": self.max_rounds,
+            "engine": self.engine,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
         known = {f: data[f] for f in (
             "protocol", "protocol_params", "topology", "topology_params",
-            "scheduler", "scheduler_params", "seed", "max_rounds",
+            "scheduler", "scheduler_params", "seed", "max_rounds", "engine",
         ) if f in data}
         unknown = set(data) - set(known)
         if unknown:
@@ -79,8 +89,18 @@ class ExperimentSpec:
         return cls.from_dict(json.loads(text))
 
     def key(self) -> str:
-        """A stable, human-scannable content id (used for resume)."""
-        digest = hashlib.sha256(self.to_json().encode()).hexdigest()[:12]
+        """A stable, human-scannable content id (used for resume).
+
+        The ``engine`` field is deliberately excluded: it is a run-time
+        strategy, not an experiment axis — all engines produce identical
+        results — so switching engines (or upgrading from specs that
+        predate the field) still resumes from an existing sink.
+        """
+        payload = self.to_dict()
+        del payload["engine"]
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()[:12]
         return (f"{self.protocol}/{self.topology}/{self.scheduler}"
                 f"/s{self.seed}/{digest}")
 
@@ -104,6 +124,9 @@ class ExperimentSpec:
             self.scheduler, network, **self.scheduler_params
         )
 
+    def build_engine(self):
+        return engine_registry.build(self.engine)
+
     def build_simulator(self) -> Simulator:
         """A ready-to-run :class:`Simulator` for this spec."""
         network = self.build_network()
@@ -112,6 +135,7 @@ class ExperimentSpec:
             network,
             scheduler=self.build_scheduler(network),
             seed=self.seed,
+            engine=self.build_engine(),
         )
 
     def run(self):
@@ -123,19 +147,23 @@ class ExperimentSpec:
             self.build_scheduler(network),
             seed=self.seed,
             max_rounds=self.max_rounds,
+            engine=self.build_engine(),
         )
 
 
 def execute_trial(protocol, network, scheduler, seed: int = 0,
-                  max_rounds: int = 50_000):
+                  max_rounds: int = 50_000, engine="incremental"):
     """Run one protocol instance to silence and collect its metrics.
 
     The single execution path shared by :meth:`ExperimentSpec.run`, the
-    campaign workers, and the legacy ``run_trial`` wrapper.
+    campaign workers, and the legacy ``run_trial`` wrapper.  ``engine``
+    selects the enabled-set maintenance strategy (name or instance);
+    results are engine-independent by the equivalence contract.
     """
     from ..experiments.runner import TrialResult
 
-    sim = Simulator(protocol, network, scheduler=scheduler, seed=seed)
+    sim = Simulator(protocol, network, scheduler=scheduler, seed=seed,
+                    engine=engine)
     report = sim.run_until_silent(max_rounds=max_rounds)
     summary = sim.metrics.summary()
     return TrialResult(

@@ -31,6 +31,7 @@ from .analysis import (
 from .api import (
     Campaign,
     ExperimentSpec,
+    engine_registry,
     protocol_registry,
     scheduler_registry,
     topology_registry,
@@ -70,6 +71,7 @@ def topology_params_from_args(args) -> Dict[str, Any]:
         "gnp": lambda: {"n": n, "p": args.p, "seed": args.seed},
         "regular": lambda: {"n": n if n % 2 == 0 else n + 1, "d": 3,
                             "seed": args.seed},
+        "sparse": lambda: {"n": n, "seed": args.seed},
     }
     try:
         return makers[args.topology]()
@@ -94,6 +96,7 @@ def spec_from_args(args, max_rounds: int = 50_000) -> ExperimentSpec:
             scheduler=getattr(args, "scheduler", None) or "synchronous",
             seed=args.seed,
             max_rounds=max_rounds,
+            engine=getattr(args, "engine", None) or "incremental",
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -239,6 +242,10 @@ def cmd_campaign(args) -> int:
             campaign = Campaign.from_json_file(args.from_json)
         except (OSError, ValueError, KeyError) as exc:
             raise SystemExit(f"cannot load campaign {args.from_json!r}: {exc}")
+        if args.engine:
+            campaign = Campaign(
+                spec.variant(engine=args.engine) for spec in campaign.specs
+            )
     else:
         campaign = Campaign.grid(
             protocols=[parse_component(p) for p in args.protocols],
@@ -246,6 +253,7 @@ def cmd_campaign(args) -> int:
             schedulers=[parse_component(s) for s in args.schedulers],
             seeds=range(args.seeds),
             max_rounds=args.max_rounds,
+            engine=args.engine or "incremental",
         )
     print(f"campaign: {len(campaign)} specs "
           f"({'process pool of ' + str(args.workers) if args.workers >= 2 else 'serial'})")
@@ -312,6 +320,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(run)
     run.add_argument("--scheduler", default=None,
                      help=" | ".join(scheduler_registry.names()))
+    run.add_argument("--engine", default="incremental",
+                     choices=engine_registry.names(),
+                     help="enabled-set engine (incremental dirty-set "
+                          "updates, full-scan fallback, or the "
+                          "self-auditing debug mode)")
     run.add_argument("--max-rounds", type=int, default=100_000)
     run.add_argument("--render", action="store_true")
     run.set_defaults(fn=cmd_run)
@@ -349,6 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help=" | ".join(scheduler_registry.names()))
     camp.add_argument("--seeds", type=int, default=4,
                       help="number of seeds (0..seeds-1) per grid point")
+    camp.add_argument("--engine", default=None,
+                      choices=engine_registry.names(),
+                      help="enabled-set engine applied to every spec "
+                           "(with --from-json: overrides the loaded "
+                           "specs' engines)")
     camp.add_argument("--max-rounds", type=int, default=50_000)
     camp.add_argument("--workers", type=int, default=0,
                       help=">=2 fans trials out over a process pool")

@@ -1,12 +1,22 @@
 """Computational model of the paper (Section 2).
 
 Locally shared memory, prioritised guarded actions, distributed fair
-schedulers, Dolev-Israeli-Moran rounds, tracked neighbor reads, and a
-sound silence (communication fixed point) checker.
+schedulers, Dolev-Israeli-Moran rounds, tracked neighbor reads, a sound
+silence (communication fixed point) checker, and incremental
+enabled-set engines that keep "who can act now" current in
+O(Δ·activated) per step instead of a full O(n·Δ) rescan.
 """
 
 from .actions import GuardedAction, first_enabled
 from .context import StepContext
+from .engine import (
+    ENGINE_NAMES,
+    CrossCheckEngine,
+    EnabledSetEngine,
+    IncrementalEngine,
+    ScanEngine,
+    make_engine,
+)
 from .exceptions import (
     ConvergenceError,
     DomainError,
@@ -50,11 +60,15 @@ __all__ = [
     "CentralScheduler",
     "Configuration",
     "ConvergenceError",
+    "CrossCheckEngine",
     "Domain",
     "DomainError",
+    "ENGINE_NAMES",
+    "EnabledSetEngine",
     "FiniteSet",
     "FixedSequenceScheduler",
     "GuardedAction",
+    "IncrementalEngine",
     "IllegalRead",
     "IllegalWrite",
     "IntRange",
@@ -66,6 +80,7 @@ __all__ = [
     "ReproError",
     "RoundRobinScheduler",
     "RoundTracker",
+    "ScanEngine",
     "Scheduler",
     "Simulator",
     "StabilizationReport",
@@ -82,6 +97,7 @@ __all__ = [
     "first_enabled",
     "internal",
     "is_silent",
+    "make_engine",
     "make_scheduler",
     "record_run",
     "verify_replay",

@@ -39,6 +39,7 @@ class GuardedAction:
     effect: Callable[["StepContext"], None]
 
     def is_enabled(self, ctx: "StepContext") -> bool:
+        """Evaluate the guard against γi (neighbor reads are tracked)."""
         return bool(self.guard(ctx))
 
 

@@ -63,6 +63,7 @@ class MetricsCollector:
 
     # ------------------------------------------------------------------
     def record(self, record: StepRecord) -> None:
+        """Fold one step record into the aggregates (simulator hook)."""
         self.steps += 1
         if record.closed_round:
             self.rounds += 1

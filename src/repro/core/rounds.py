@@ -5,11 +5,22 @@ computation is the minimal prefix in which every process has been
 activated by the scheduler; the second round is the first round of the
 remaining suffix, and so on.  :class:`RoundTracker` implements exactly
 that with a shrinking remainder set.
+
+Two accounting modes cover the two daemon families:
+
+* Under the repo's classic daemons — which may select *disabled*
+  processes (the paper's footnote: a disabled process does nothing) —
+  a round ends once every process has been activated.
+* Under enabled-drawing daemons (``draws_from == "enabled"``) disabled
+  processes are never selected, so the literature's refinement applies:
+  a process is also *served* for the round the moment it is observed
+  disabled.  Callers opt in by passing ``still_enabled`` to
+  :meth:`record_step`.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence, Set
+from typing import Hashable, Iterable, Optional, Sequence, Set
 
 ProcessId = Hashable
 
@@ -34,9 +45,22 @@ class RoundTracker:
         """Processes not yet activated in the current round."""
         return set(self._remaining)
 
-    def record_step(self, activated: Iterable[ProcessId]) -> bool:
-        """Account one step; returns True when this step closed a round."""
+    def record_step(
+        self,
+        activated: Iterable[ProcessId],
+        still_enabled: Optional[Iterable[ProcessId]] = None,
+    ) -> bool:
+        """Account one step; returns True when this step closed a round.
+
+        ``still_enabled``, when given, is the enabled set *after* the
+        step: any remaining process outside it became disabled and is
+        treated as served for this round (the Dolev-Israeli-Moran
+        refinement needed by enabled-drawing daemons, under which a
+        disabled process is never activated).
+        """
         self._remaining.difference_update(activated)
+        if still_enabled is not None and self._remaining:
+            self._remaining.intersection_update(still_enabled)
         if not self._remaining:
             self._completed += 1
             self._remaining = set(self._all)
@@ -44,5 +68,6 @@ class RoundTracker:
         return False
 
     def reset(self) -> None:
+        """Restart accounting: zero rounds, a fresh full remainder set."""
         self._remaining = set(self._all)
         self._completed = 0

@@ -7,6 +7,27 @@ that all satisfy distribution, with fairness achieved either surely
 (synchronous, round-robin, bounded enforcement) or with probability 1
 (random subsets).  The adversarial variants let tests and benchmarks
 probe worst-case behaviour while staying inside the fairness contract.
+
+Two selection pools exist, declared per scheduler via
+:attr:`Scheduler.draws_from`:
+
+* ``"all"`` (the default) — the daemon may select *any* process; a
+  selected-but-disabled process executes nothing (the paper's footnote
+  semantics).  This is the historical behaviour of every daemon here.
+* ``"enabled"`` — the daemon draws directly from the enabled set
+  maintained by the simulator's
+  :class:`~repro.core.engine.EnabledSetEngine`, never wasting a
+  selection on a disabled process — the daemon of the classical
+  self-stabilization literature.  The simulator falls back to the full
+  process list when nothing is enabled (the configuration is then
+  terminal, so those activations are harmless no-ops that let rounds
+  close and silence be detected).
+
+The synchronous/central/random-subset/round-robin/locally-central
+daemons accept ``enabled_only=True`` to opt into the second pool;
+``enabled_only`` synchronous is exactly the *maximal* (greedy) daemon.
+The bounded-fair and fixed-sequence daemons keep per-process scripts or
+starvation books over the full process set and stay pool-"all" only.
 """
 
 from __future__ import annotations
@@ -20,9 +41,22 @@ ProcessId = Hashable
 
 
 class Scheduler(ABC):
-    """Chooses which processes act in each step."""
+    """Chooses which processes act in each step.
+
+    Subclass contract: :meth:`select` receives the selection pool (all
+    processes, or only the enabled ones when :attr:`draws_from` is
+    ``"enabled"``) in canonical network order plus the run's rng, and
+    must return a non-empty subset.  Stateful schedulers additionally
+    override :meth:`reset` so a reused instance cannot leak pacing
+    state between runs.
+    """
 
     name: str = "scheduler"
+
+    #: Which pool the simulator offers to :meth:`select`: ``"all"``
+    #: processes (footnote semantics) or only the ``"enabled"`` ones
+    #: (engine-maintained; see the module docstring).
+    draws_from: str = "all"
 
     @abstractmethod
     def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
@@ -33,28 +67,44 @@ class Scheduler(ABC):
 
 
 class SynchronousScheduler(Scheduler):
-    """Every process acts in every step — one step per round."""
+    """Every process in the pool acts in every step.
+
+    Over the full pool this is the synchronous daemon (one step per
+    round); with ``enabled_only=True`` it activates exactly the enabled
+    processes — the *maximal* (greedy) daemon.
+    """
 
     name = "synchronous"
+
+    def __init__(self, enabled_only: bool = False):
+        if enabled_only:
+            self.draws_from = "enabled"
 
     def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
         return list(processes)
 
 
 class CentralScheduler(Scheduler):
-    """Exactly one uniformly random process acts per step.
+    """Exactly one uniformly random pool member acts per step.
 
-    The classical central daemon; fair with probability 1.
+    The classical central daemon; fair with probability 1.  With
+    ``enabled_only=True`` the draw is uniform over the *enabled*
+    processes, matching the central daemon of the literature (and never
+    spending a step on a disabled no-op).
     """
 
     name = "central"
+
+    def __init__(self, enabled_only: bool = False):
+        if enabled_only:
+            self.draws_from = "enabled"
 
     def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
         return [processes[rng.randrange(len(processes))]]
 
 
 class RandomSubsetScheduler(Scheduler):
-    """Each process is independently included with probability ``p_act``.
+    """Each pool member is independently included with probability ``p_act``.
 
     Empty draws are resampled so every step activates someone.  Fair with
     probability 1 and a good model of uncoordinated asynchrony.
@@ -62,10 +112,12 @@ class RandomSubsetScheduler(Scheduler):
 
     name = "random-subset"
 
-    def __init__(self, p_act: float = 0.5):
+    def __init__(self, p_act: float = 0.5, enabled_only: bool = False):
         if not 0.0 < p_act <= 1.0:
             raise ValueError("p_act must be in (0, 1]")
         self.p_act = p_act
+        if enabled_only:
+            self.draws_from = "enabled"
 
     def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
         while True:
@@ -75,15 +127,19 @@ class RandomSubsetScheduler(Scheduler):
 
 
 class RoundRobinScheduler(Scheduler):
-    """Processes act one at a time in a fixed cyclic order.
+    """Pool members act one at a time in cyclic order.
 
-    Deterministic and fair; one round costs exactly ``n`` steps.
+    Deterministic and fair; over the full pool one round costs exactly
+    ``n`` steps.  With ``enabled_only=True`` the cursor walks the
+    (shrinking/shifting) enabled pool instead.
     """
 
     name = "round-robin"
 
-    def __init__(self) -> None:
+    def __init__(self, enabled_only: bool = False) -> None:
         self._next = 0
+        if enabled_only:
+            self.draws_from = "enabled"
 
     def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
         p = processes[self._next % len(processes)]
@@ -167,11 +223,13 @@ class LocallyCentralScheduler(Scheduler):
 
     name = "locally-central"
 
-    def __init__(self, network, p_act: float = 0.5):
+    def __init__(self, network, p_act: float = 0.5, enabled_only: bool = False):
         if not 0.0 < p_act <= 1.0:
             raise ValueError("p_act must be in (0, 1]")
         self.network = network
         self.p_act = p_act
+        if enabled_only:
+            self.draws_from = "enabled"
 
     def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
         while True:

@@ -10,17 +10,23 @@ Implements the computation model of paper §2 faithfully:
 * all writes land simultaneously in ``γi+1``;
 * rounds are counted with :class:`~repro.core.rounds.RoundTracker`;
 * every neighbor read (guards included) is tracked for the
-  communication-efficiency metrics.
+  communication-efficiency metrics;
+* the set of enabled processes is maintained across steps by an
+  :class:`~repro.core.engine.EnabledSetEngine` (incremental dirty-set
+  updates by default, with a full-scan fallback and a self-auditing
+  debug mode), which powers :meth:`Simulator.enabled_processes` and the
+  enabled-drawing daemons.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional
+from typing import Callable, Dict, Hashable, List, Optional, Union
 
 from .actions import first_enabled
 from .context import StepContext
+from .engine import EnabledSetEngine, make_engine
 from .exceptions import ConvergenceError
 from .metrics import MetricsCollector, StepRecord
 from .protocol import Protocol
@@ -66,6 +72,15 @@ class Simulator:
         Starting configuration; defaults to a fresh *arbitrary*
         (uniformly corrupted) configuration, the standard
         self-stabilization starting point.
+    engine:
+        Enabled-set maintenance strategy: ``"incremental"`` (default),
+        ``"scan"``, ``"debug"``, or a ready
+        :class:`~repro.core.engine.EnabledSetEngine` instance.  Every
+        engine yields step-for-step identical executions; they differ
+        only in how much work keeping the enabled set current costs.
+    full_scan:
+        Convenience fallback: ``full_scan=True`` forces the ``"scan"``
+        engine regardless of ``engine``.
     """
 
     def __init__(
@@ -75,6 +90,8 @@ class Simulator:
         scheduler: Optional[Scheduler] = None,
         seed: Optional[int] = None,
         config: Optional[Configuration] = None,
+        engine: Union[str, EnabledSetEngine] = "incremental",
+        full_scan: bool = False,
     ):
         self.protocol = protocol
         self.network = network
@@ -95,13 +112,27 @@ class Simulator:
         self.round_tracker = RoundTracker(network.processes)
         self.metrics = MetricsCollector(network.processes)
         self.step_index = 0
+        self.engine = make_engine("scan" if full_scan else engine)
+        self.engine.bind(protocol, network, self.config, self.specs_of)
+        self._enabled_pool = self.scheduler.draws_from == "enabled"
 
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
     def step(self) -> StepRecord:
-        """Execute one step and return its record."""
-        selected = self.scheduler.select(self.network.processes, self.rng)
+        """Execute one step and return its record.
+
+        The scheduler draws from all processes, or — for daemons with
+        ``draws_from == "enabled"`` — from the engine-maintained enabled
+        set (falling back to all processes when nothing is enabled, so
+        a terminal configuration still closes rounds via no-op steps and
+        silence is detected at the next round boundary).
+        """
+        if self._enabled_pool:
+            pool = self.engine.enabled_list() or self.network.processes
+        else:
+            pool = self.network.processes
+        selected = self.scheduler.select(pool, self.rng)
         if not selected:
             raise ConvergenceError("scheduler selected an empty set")
 
@@ -117,12 +148,26 @@ class Simulator:
             executions.append((p, ctx, action))
 
         # Simultaneous writes: γi+1 is built only after every activated
-        # process has computed its action against γi.
+        # process has computed its action against γi.  Processes whose
+        # communication variables take a *new* value are collected for
+        # the engine — only they can flip a neighbor's enabled-status.
+        comm_changed = []
+        for p, ctx, _action in executions:
+            for name, value in ctx.comm_writes().items():
+                if self.config.get(p, name) != value:
+                    comm_changed.append(p)
+                    break
         for p, ctx, _action in executions:
             for name, value in ctx.writes.items():
                 self.config.set(p, name, value)
+        self.engine.note_step(selected, comm_changed)
 
-        closed = self.round_tracker.record_step(selected)
+        if self._enabled_pool:
+            closed = self.round_tracker.record_step(
+                selected, still_enabled=self.engine.enabled_view()
+            )
+        else:
+            closed = self.round_tracker.record_step(selected)
         record = StepRecord(
             index=self.step_index,
             activated=frozenset(selected),
@@ -156,28 +201,45 @@ class Simulator:
     # Queries
     # ------------------------------------------------------------------
     def is_legitimate(self) -> bool:
+        """Whether the current γ satisfies the protocol's predicate."""
         return self.protocol.is_legitimate(self.network, self.config)
 
     def is_silent(self) -> bool:
+        """Exact check that γ's communication part is fixed forever.
+
+        Sound for any daemon: silence (Def. 3) quantifies over every
+        fair scheduling of the future, not the one this simulator uses.
+        """
         return is_silent(self.protocol, self.network, self.config)
 
     def silence_witness(self):
+        """A reachable communication write proving γ is not silent
+        (None when silent)."""
         return silence_witness(self.protocol, self.network, self.config)
 
     def enabled_processes(self) -> List[ProcessId]:
-        """Processes with at least one enabled action in the current γ."""
-        enabled = []
-        for p in self.network.processes:
-            ctx = StepContext(p, self.network, self.config, self.specs_of, rng=None)
-            try:
-                action = first_enabled(self._actions, ctx)
-            except Exception:
-                # Randomized guards would need an rng; none of the paper's
-                # guards are randomized, so this is defensive only.
-                raise
-            if action is not None:
-                enabled.append(p)
-        return enabled
+        """Processes with at least one enabled action in the current γ.
+
+        Served by the enabled-set engine in canonical network order:
+        O(dirty guards) per call under the incremental engine instead
+        of one guard evaluation per process.  Code that mutates
+        :attr:`config` directly (fault injection does) must call
+        :meth:`invalidate_enabled` first or the view may be stale.
+        """
+        return list(self.engine.enabled_list())
+
+    def invalidate_enabled(
+        self, processes: Optional[List[ProcessId]] = None
+    ) -> None:
+        """Tell the engine some states changed behind the simulator's back.
+
+        ``processes`` limits the invalidation to the touched processes
+        (and, via the protocol's read-set declaration, everyone whose
+        guards may observe them); ``None`` distrusts the whole network.
+        The fault-injection helpers in :mod:`repro.faults` call this for
+        you.
+        """
+        self.engine.invalidate(processes)
 
     # ------------------------------------------------------------------
     # High-level runs

@@ -37,9 +37,13 @@ class Configuration:
         return self._states[p]
 
     def get(self, p: ProcessId, var: str) -> Any:
+        """The value of variable ``var`` of process ``p``."""
         return self._states[p][var]
 
     def set(self, p: ProcessId, var: str, value: Any) -> None:
+        """Write ``var`` of ``p`` in place (unvalidated; the simulator
+        validates domains and, for out-of-band writes, callers must
+        invalidate the enabled-set engine)."""
         self._states[p][var] = value
 
     @property
@@ -48,6 +52,7 @@ class Configuration:
 
     # -- copies and projections -----------------------------------------
     def copy(self) -> "Configuration":
+        """An independent deep-enough copy (per-process dicts are new)."""
         return Configuration(self._states)
 
     def comm_projection(

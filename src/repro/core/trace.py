@@ -37,6 +37,7 @@ class TraceEvent:
     comm_writes: Dict[str, Dict[str, Any]]
 
     def to_json(self) -> str:
+        """One canonical JSON line for this event (sorted keys)."""
         return json.dumps(
             {
                 "step": self.step,
@@ -99,6 +100,7 @@ class Trace:
 
     # ------------------------------------------------------------------
     def to_jsonl(self) -> str:
+        """Serialize as JSONL: one header line, then one line per event."""
         header = json.dumps(
             {"protocol": self.protocol, "seed": self.seed}, sort_keys=True
         )
@@ -121,6 +123,7 @@ class TraceRecorder:
         self._specs_of = sim.protocol.specs_of(sim.network)
 
     def step(self) -> TraceEvent:
+        """Execute one simulator step and append its event to the trace."""
         before = self.sim.config.comm_projection(self._specs_of)
         record = self.sim.step()
         after = self.sim.config.comm_projection(self._specs_of)
@@ -150,6 +153,7 @@ class TraceRecorder:
         return event
 
     def run_steps(self, count: int) -> Trace:
+        """Record exactly ``count`` steps; returns the growing trace."""
         for _ in range(count):
             self.step()
         return self.trace

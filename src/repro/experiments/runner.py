@@ -59,10 +59,13 @@ def run_trial(
     scheduler: Optional[Scheduler] = None,
     seed: int = 0,
     max_rounds: int = 50_000,
+    engine: str = "incremental",
 ) -> TrialResult:
     """Run one protocol instance to silence and collect its metrics.
 
-    Back-compat wrapper over :func:`repro.api.execute_trial`.
+    Back-compat wrapper over :func:`repro.api.execute_trial`; ``engine``
+    picks the enabled-set maintenance strategy (results are identical
+    across engines).
     """
     from ..api.spec import execute_trial
 
@@ -72,6 +75,7 @@ def run_trial(
         scheduler or SynchronousScheduler(),
         seed=seed,
         max_rounds=max_rounds,
+        engine=engine,
     )
 
 

@@ -42,6 +42,9 @@ def corrupt_processes(
         for spec in _writable_specs(sim, p, kinds):
             sim.config.set(p, spec.name, spec.domain.sample(rng))
         hit.append(p)
+    # The writes bypassed Simulator.step, so the enabled-set engine must
+    # be told which processes (and observers thereof) to re-examine.
+    sim.invalidate_enabled(hit)
     return hit
 
 
@@ -96,4 +99,5 @@ def adversarial_reset(
                     )
             sim.config.set(p, spec.name, value)
         hit.append(p)
+    sim.invalidate_enabled(hit)
     return hit

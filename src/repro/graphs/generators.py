@@ -123,6 +123,33 @@ def random_regular(n: int, d: int, seed: Optional[int] = None) -> Network:
     raise TopologyError(f"could not sample a connected {d}-regular graph on {n}")
 
 
+def sparse_random(
+    n: int, avg_degree: float = 3.0, seed: Optional[int] = None
+) -> Network:
+    """A connected sparse random graph on ``n`` processes in O(n + m).
+
+    The 10k-node scale tier needs random topologies that build in linear
+    time; :func:`random_connected` resamples dense G(n, p) draws and is
+    quadratic in ``n``.  This generator takes one G(n, p = avg_degree/n)
+    sample via the fast (sparse) algorithm and then stitches the
+    connected components together along a random chain, adding at most
+    ``#components - 1`` edges — negligible against ``m ≈ n·avg_degree/2``
+    and guaranteeing connectivity without resampling.
+    """
+    if n < 2:
+        raise TopologyError("need at least two processes")
+    if avg_degree <= 0:
+        raise TopologyError("avg_degree must be positive")
+    rng = random.Random(seed)
+    p = min(1.0, avg_degree / max(n - 1, 1))
+    g = nx.fast_gnp_random_graph(n, p, seed=rng.randrange(2**31))
+    comps = [list(c) for c in nx.connected_components(g)]
+    rng.shuffle(comps)
+    for a, b in zip(comps, comps[1:]):
+        g.add_edge(rng.choice(a), rng.choice(b))
+    return Network(g)
+
+
 def random_tree(n: int, seed: Optional[int] = None) -> Network:
     """A uniformly random labelled tree on ``n`` processes."""
     if n < 1:

@@ -10,12 +10,19 @@ from repro.api import (
     Campaign,
     ExperimentSpec,
     Registry,
+    engine_registry,
     load_campaign_results,
     protocol_registry,
     scheduler_registry,
     topology_registry,
 )
-from repro.core import Scheduler, Simulator, make_scheduler
+from repro.core import (
+    ENGINE_NAMES,
+    EnabledSetEngine,
+    Scheduler,
+    Simulator,
+    make_scheduler,
+)
 from repro.core.scheduler import DEFAULT_SCHEDULERS, RoundRobinScheduler
 from repro.experiments import TrialResult, run_trial
 from repro.graphs import ring
@@ -87,6 +94,7 @@ class TestRegistryCompleteness:
             "caterpillar": {"spine": 3, "legs_per_node": 1},
             "gnp": {"n": 8, "p": 0.4, "seed": 0},
             "regular": {"n": 8, "d": 3, "seed": 0},
+            "sparse": {"n": 10, "avg_degree": 2.5, "seed": 0},
             "tree": {"n": 6, "seed": 0},
         }
         assert sorted(params) == topology_registry.names()
@@ -109,6 +117,21 @@ class TestRegistryCompleteness:
             "fixed-sequence"
         assert make_scheduler("locally-central", network=ring(5)).name == \
             "locally-central"
+
+    def test_every_core_engine_registered(self):
+        assert sorted(ENGINE_NAMES) == engine_registry.names()
+        for name in engine_registry:
+            engine = engine_registry.build(name)
+            assert isinstance(engine, EnabledSetEngine)
+            assert engine.name == name
+
+    def test_enabled_only_daemons_build_from_params(self):
+        net = ring(5)
+        for name in ("synchronous", "central", "random-subset",
+                     "round-robin", "locally-central"):
+            sched = scheduler_registry.build(name, net, enabled_only=True)
+            assert sched.draws_from == "enabled"
+            assert scheduler_registry.build(name, net).draws_from == "all"
 
 
 class TestExperimentSpec:
@@ -173,6 +196,62 @@ class TestExperimentSpec:
                               topology_params={"n": 8})
         with pytest.raises(AttributeError):
             spec.seed = 3
+
+    def test_engine_field_round_trips_and_builds(self):
+        spec = ExperimentSpec(protocol="coloring", topology="ring",
+                              topology_params={"n": 8}, engine="scan")
+        assert spec.to_dict()["engine"] == "scan"
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+        assert spec.build_simulator().engine.name == "scan"
+        # Specs predating the engine field deserialize to the default.
+        legacy = dict(spec.to_dict())
+        del legacy["engine"]
+        assert ExperimentSpec.from_dict(legacy).engine == "incremental"
+
+    def test_engine_choice_does_not_change_results(self):
+        base = ExperimentSpec(
+            protocol="mis", topology="gnp",
+            topology_params={"n": 14, "p": 0.3, "seed": 2},
+            scheduler="central", seed=5,
+        )
+        results = {
+            engine: base.variant(engine=engine).run()
+            for engine in engine_registry
+        }
+        assert len(set(results.values())) == 1
+
+    def test_campaign_grid_engine_applies_to_every_spec(self):
+        campaign = Campaign.grid(
+            protocols=["coloring"], topologies=[("ring", {"n": 8})],
+            seeds=range(2), engine="debug",
+        )
+        assert all(s.engine == "debug" for s in campaign.specs)
+
+    def test_key_ignores_engine(self):
+        # The engine is a run-time strategy, not an experiment axis:
+        # switching it must not orphan existing campaign sinks.
+        base = ExperimentSpec(protocol="coloring", topology="ring",
+                              topology_params={"n": 8})
+        assert {base.variant(engine=e).key() for e in engine_registry} == \
+            {base.key()}
+
+    def test_cli_engine_switch_resumes_and_overrides_from_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cfg = tmp_path / "campaign.json"
+        cfg.write_text(json.dumps({"grid": {
+            "protocols": ["coloring"],
+            "topologies": [{"name": "ring", "params": {"n": 8}}],
+            "seeds": [0, 1],
+        }}))
+        out = tmp_path / "results.jsonl"
+        assert main(["campaign", "--from-json", str(cfg),
+                     "--out", str(out), "--quiet"]) == 0
+        # Same campaign under a different engine: the --engine override
+        # applies to the loaded specs and every trial resumes.
+        assert main(["campaign", "--from-json", str(cfg), "--engine", "scan",
+                     "--out", str(out), "--quiet"]) == 0
+        assert "2 resumed" in capsys.readouterr().out
 
 
 class TestTrialResultSerialization:
