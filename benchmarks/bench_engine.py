@@ -1,11 +1,24 @@
-"""E10 — Enabled-set engine throughput: incremental vs full scan.
+"""E10 — Step-loop throughput: engines, state backends, metrics tiers.
 
-The 10k-node scale tier.  For COLORING / MIS / MATCHING on 10k-process
-rings, tori and sparse random graphs, measures raw simulator throughput
-(steps/sec) under the enabled-drawing central daemon with the
-``incremental`` engine versus the ``scan`` fallback, and asserts the
-speedup the dirty-set design promises (O(Δ·activated) vs O(n·Δ) per
-step — see docs/performance.md for the argument and recorded numbers).
+The 10k-node scale tier.  Two families of measurements:
+
+* **Engine grid** — for COLORING / MIS / MATCHING on 10k-process rings,
+  tori and sparse random graphs, raw simulator throughput (steps/sec)
+  under the enabled-drawing central daemon across enabled-set engines
+  (``incremental`` vs the ``scan`` fallback) × metrics tiers (``full``
+  vs ``aggregate``), asserting the dirty-set speedup floor.
+* **Flat hot loop** — the PR-3 acceptance gate: 10k-node *synchronous*
+  COLORING, flat indexed state + pooled contexts + ``aggregate``
+  metrics versus the preserved pre-flat baseline
+  (``Simulator(state="legacy", metrics="full")`` — dict-of-dicts
+  configuration, one fresh context per activation, full per-step
+  records).  Asserts ≥3x at full scale and a generous ≥1.3x in the
+  ``--tiny`` CI smoke.
+
+Every run (pytest or script) appends machine-readable results to
+``BENCH_3.json`` at the repo root: steps/sec per topology × protocol ×
+engine × metrics tier plus the hot-loop ratio, keyed by mode
+(``full`` / ``tiny``) so CI smoke numbers never shadow scale-tier ones.
 
 Run as a pytest bench::
 
@@ -19,10 +32,13 @@ or as a plain script::
 
 from __future__ import annotations
 
+import json
+import pathlib
 import time
 from typing import Dict, List, Tuple
 
 from repro.api import ExperimentSpec
+from repro.core import Simulator
 
 FULL_N = 10_000
 FULL_BUDGET_S = 1.5
@@ -30,11 +46,24 @@ TINY_N = 120
 TINY_BUDGET_S = 0.1
 
 PROTOCOLS = ("coloring", "mis", "matching")
+ENGINES = ("incremental", "scan")
+TIERS = ("full", "aggregate")
 
 #: the speedup floor asserted at full scale on the ring (the measured
 #: ratio is two orders of magnitude; 3x keeps the guard robust on
 #: loaded CI machines)
 MIN_SPEEDUP = 3.0
+
+#: acceptance floor of the flat hot loop over the legacy baseline on
+#: 10k-node synchronous coloring (measured ≈4x; see docs/performance.md)
+MIN_FLAT_SPEEDUP = 3.0
+
+#: generous floor for the --tiny CI perf smoke: catches a wholesale
+#: regression (losing pooling or the flat rows) without flaking on
+#: loaded runners
+MIN_FLAT_SPEEDUP_TINY = 1.3
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_3.json"
 
 
 def topologies(n: int) -> List[Tuple[str, Dict]]:
@@ -47,8 +76,8 @@ def topologies(n: int) -> List[Tuple[str, Dict]]:
     ]
 
 
-def build_spec(protocol: str, topology: str, params: Dict,
-               engine: str) -> ExperimentSpec:
+def build_spec(protocol: str, topology: str, params: Dict, engine: str,
+               metrics: str = "full") -> ExperimentSpec:
     """One scale-tier spec: enabled-drawing central daemon, given engine."""
     return ExperimentSpec(
         protocol=protocol,
@@ -58,12 +87,12 @@ def build_spec(protocol: str, topology: str, params: Dict,
         scheduler_params={"enabled_only": True},
         seed=1,
         engine=engine,
+        metrics=metrics,
     )
 
 
-def steps_per_sec(spec: ExperimentSpec, budget_s: float) -> float:
-    """Run ``spec``'s simulator for ~budget_s of wall time; steps/sec."""
-    sim = spec.build_simulator()
+def time_stepping(sim, budget_s: float) -> float:
+    """Step ``sim`` for ~budget_s of wall time; returns steps/sec."""
     sim.step()  # warm caches outside the timed window
     steps = 0
     t0 = time.perf_counter()
@@ -73,6 +102,72 @@ def steps_per_sec(spec: ExperimentSpec, budget_s: float) -> float:
         elapsed = time.perf_counter() - t0
         if elapsed >= budget_s:
             return steps / elapsed
+
+
+def steps_per_sec(spec: ExperimentSpec, budget_s: float) -> float:
+    """Run ``spec``'s simulator for ~budget_s of wall time; steps/sec."""
+    return time_stepping(spec.build_simulator(), budget_s)
+
+
+def hot_loop_sims(n: int) -> Dict[str, Simulator]:
+    """The acceptance pair: 10k synchronous COLORING, baseline vs flat.
+
+    ``baseline`` preserves the pre-flat (PR 2) step loop — legacy
+    dict-of-dicts state, per-activation context allocation, full
+    per-step records; ``flat_aggregate`` is the shipped default backend
+    under the aggregate tier.  Both replay the same seed.
+    """
+    def build(state, metrics):
+        spec = ExperimentSpec(
+            protocol="coloring", topology="ring", topology_params={"n": n},
+            scheduler="synchronous", seed=1,
+        )
+        network = spec.build_network()
+        return Simulator(
+            spec.build_protocol(network), network,
+            scheduler=spec.build_scheduler(network), seed=1,
+            metrics=metrics, state=state,
+        )
+
+    return {
+        "baseline": build("legacy", "full"),
+        "flat_full": build("flat", "full"),
+        "flat_aggregate": build("flat", "aggregate"),
+    }
+
+
+def measure_hot_loop(n: int, budget_s: float) -> Dict[str, float]:
+    """Steps/sec of the acceptance pair plus the resulting speedups."""
+    rates = {
+        label: time_stepping(sim, budget_s)
+        for label, sim in hot_loop_sims(n).items()
+    }
+    rates["speedup_aggregate"] = rates["flat_aggregate"] / rates["baseline"]
+    rates["speedup_full"] = rates["flat_full"] / rates["baseline"]
+    return rates
+
+
+def measure_grid(n: int, budget_s: float,
+                 tiers: Tuple[str, ...] = TIERS) -> List[Dict]:
+    """Steps/sec per topology × protocol × engine × metrics tier."""
+    rows = []
+    for topo_name, params in topologies(n):
+        for protocol in PROTOCOLS:
+            for engine in ENGINES:
+                for metrics in tiers:
+                    rate = steps_per_sec(
+                        build_spec(protocol, topo_name, params, engine,
+                                   metrics),
+                        budget_s,
+                    )
+                    rows.append({
+                        "topology": topo_name,
+                        "protocol": protocol,
+                        "engine": engine,
+                        "metrics": metrics,
+                        "steps_per_sec": round(rate, 2),
+                    })
+    return rows
 
 
 def identical_prefix(protocol: str, topology: str, params: Dict,
@@ -85,23 +180,54 @@ def identical_prefix(protocol: str, topology: str, params: Dict,
     return runs[0] == runs[1]
 
 
-def compare_engines(n: int, budget_s: float) -> List[List]:
-    """The bench grid: one row per (topology, protocol) with the speedup."""
+def _speedup_rows(grid: List[Dict]) -> List[List]:
+    """Fold the grid into incremental-vs-scan rows at the full tier."""
+    by_cell = {
+        (r["topology"], r["protocol"], r["engine"]): r["steps_per_sec"]
+        for r in grid if r["metrics"] == "full"
+    }
     rows = []
-    for topo_name, params in topologies(n):
+    for topo_name, _params in topologies(0):  # names only; n irrelevant
         for protocol in PROTOCOLS:
-            fast = steps_per_sec(
-                build_spec(protocol, topo_name, params, "incremental"),
-                budget_s,
-            )
-            slow = steps_per_sec(
-                build_spec(protocol, topo_name, params, "scan"), budget_s
-            )
+            fast = by_cell.get((topo_name, protocol, "incremental"))
+            slow = by_cell.get((topo_name, protocol, "scan"))
+            if fast is None or slow is None:
+                continue
             rows.append([
                 topo_name, protocol, f"{fast:,.0f}", f"{slow:,.0f}",
                 fast / slow,
             ])
     return rows
+
+
+def write_bench_json(mode: str, n: int, budget_s: float,
+                     grid: List[Dict] = None,
+                     hot_loop: Dict[str, float] = None) -> None:
+    """Merge one results section into ``BENCH_3.json`` (repo root).
+
+    Sections are keyed by ``mode`` (``"full"`` or ``"tiny"``) so CI
+    smoke numbers coexist with scale-tier numbers instead of
+    overwriting them.
+    """
+    payload: Dict = {}
+    if BENCH_JSON.exists():
+        try:
+            payload = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            payload = {}
+    section = payload.setdefault(mode, {})
+    section["n"] = n
+    section["budget_s"] = budget_s
+    if grid is not None:
+        section["grid"] = grid
+    if hot_loop is not None:
+        section["hot_loop"] = {
+            k: round(v, 2) for k, v in hot_loop.items()
+        }
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 def _emit(rows: List[List], n: int) -> None:
@@ -129,7 +255,9 @@ def test_engines_replay_identically(tiny):
 def test_engine_speedup_grid(tiny):
     n = TINY_N if tiny else FULL_N
     budget = TINY_BUDGET_S if tiny else FULL_BUDGET_S
-    rows = compare_engines(n, budget)
+    grid = measure_grid(n, budget)
+    write_bench_json("tiny" if tiny else "full", n, budget, grid=grid)
+    rows = _speedup_rows(grid)
     _emit(rows, n)
     assert all(speedup > 0 for *_front, speedup in rows)
     if not tiny:
@@ -137,6 +265,28 @@ def test_engine_speedup_grid(tiny):
         # daemon, for every protocol.
         ring_rows = [row for row in rows if row[0] == "ring"]
         assert ring_rows and all(row[4] >= MIN_SPEEDUP for row in ring_rows)
+
+
+def test_flat_hot_loop_speedup(tiny):
+    """PR-3 acceptance gate: flat+pooled+aggregate ≥3x the legacy loop.
+
+    At --tiny sizes the gate loosens to a generous smoke floor: it must
+    catch losing the flat rows or the context pool outright, without
+    flaking on loaded CI runners.
+    """
+    n = TINY_N if tiny else FULL_N
+    budget = TINY_BUDGET_S if tiny else FULL_BUDGET_S
+    rates = measure_hot_loop(n, budget)
+    write_bench_json("tiny" if tiny else "full", n, budget, hot_loop=rates)
+    print(
+        f"\nflat hot loop, n={n} (synchronous coloring): "
+        f"baseline {rates['baseline']:,.1f} steps/s, "
+        f"flat/full {rates['flat_full']:,.1f}, "
+        f"flat/aggregate {rates['flat_aggregate']:,.1f} "
+        f"({rates['speedup_aggregate']:.2f}x)"
+    )
+    floor = MIN_FLAT_SPEEDUP_TINY if tiny else MIN_FLAT_SPEEDUP
+    assert rates["speedup_aggregate"] >= floor
 
 
 # ----------------------------------------------------------------------
@@ -153,21 +303,49 @@ def main(argv=None) -> int:
                              f"or {TINY_N} with --tiny)")
     parser.add_argument("--budget", type=float, default=None,
                         help="seconds of stepping per (engine, cell)")
+    parser.add_argument("--no-json", action="store_true",
+                        help="skip writing BENCH_3.json")
     args = parser.parse_args(argv)
 
     n = args.n or (TINY_N if args.tiny else FULL_N)
     budget = args.budget or (TINY_BUDGET_S if args.tiny else FULL_BUDGET_S)
-    rows = compare_engines(n, budget)
-    print(f"engine comparison at n={n}, {budget:.2f}s per cell:")
-    for topo, proto, fast, slow, speedup in rows:
-        print(f"  {topo:8s} {proto:10s} incremental {fast:>12s}/s   "
-              f"scan {slow:>10s}/s   speedup {speedup:.1f}x")
-    floor_ok = all(
-        speedup >= MIN_SPEEDUP for topo, *_mid, speedup in rows
-        if topo == "ring"
+    grid = measure_grid(n, budget)
+    hot = measure_hot_loop(n, budget)
+    if not args.no_json:
+        write_bench_json("tiny" if args.tiny else "full", n, budget,
+                         grid=grid, hot_loop=hot)
+    print(f"engine grid at n={n}, {budget:.2f}s per cell:")
+    for row in grid:
+        print(f"  {row['topology']:8s} {row['protocol']:10s} "
+              f"{row['engine']:11s} {row['metrics']:9s} "
+              f"{row['steps_per_sec']:>12,.0f} steps/s")
+    print(f"flat hot loop (synchronous coloring, n={n}):")
+    print(f"  baseline (legacy state, full metrics) "
+          f"{hot['baseline']:>12,.1f} steps/s")
+    print(f"  flat state, full metrics              "
+          f"{hot['flat_full']:>12,.1f} steps/s ({hot['speedup_full']:.2f}x)")
+    print(f"  flat state, aggregate metrics         "
+          f"{hot['flat_aggregate']:>12,.1f} steps/s "
+          f"({hot['speedup_aggregate']:.2f}x)")
+    ring_ok = all(
+        r2 / r1 >= MIN_SPEEDUP
+        for r1, r2 in [(
+            next(r["steps_per_sec"] for r in grid
+                 if r["topology"] == "ring" and r["protocol"] == proto
+                 and r["engine"] == "scan" and r["metrics"] == "full"),
+            next(r["steps_per_sec"] for r in grid
+                 if r["topology"] == "ring" and r["protocol"] == proto
+                 and r["engine"] == "incremental" and r["metrics"] == "full"),
+        ) for proto in PROTOCOLS]
     )
-    if not args.tiny and not floor_ok:
+    flat_ok = hot["speedup_aggregate"] >= (
+        MIN_FLAT_SPEEDUP_TINY if args.tiny else MIN_FLAT_SPEEDUP
+    )
+    if not args.tiny and not ring_ok:
         print(f"FAIL: ring speedup below the {MIN_SPEEDUP}x floor")
+        return 1
+    if not flat_ok:
+        print("FAIL: flat hot loop below its speedup floor")
         return 1
     return 0
 

@@ -32,12 +32,14 @@ from .registry import (
     scheduler_registry,
     topology_registry,
 )
+from ..core.metrics import METRICS_TIERS
 from .spec import ExperimentSpec, execute_trial
 
 __all__ = [
     "Campaign",
     "CampaignOutcome",
     "ExperimentSpec",
+    "METRICS_TIERS",
     "Registry",
     "engine_registry",
     "execute_trial",

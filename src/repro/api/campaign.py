@@ -114,12 +114,14 @@ class Campaign:
         seeds: Iterable[int] = (0,),
         max_rounds: int = 50_000,
         engine: str = "incremental",
+        metrics: str = "full",
     ) -> "Campaign":
         """The full cross product of the four axes, in a stable order.
 
-        ``engine`` applies to every spec in the grid (it is a run-time
-        strategy, not an experiment axis — all engines produce identical
-        results).
+        ``engine`` and ``metrics`` apply to every spec in the grid
+        (run-time strategies, not experiment axes — all engines produce
+        identical results, and the ``aggregate`` tier reports the same
+        final measures as ``full`` at a fraction of the step cost).
         """
         specs = []
         for proto_name, proto_params in map(_normalize_component, protocols):
@@ -138,6 +140,7 @@ class Campaign:
                             seed=int(seed),
                             max_rounds=max_rounds,
                             engine=engine,
+                            metrics=metrics,
                         ))
         return cls(specs)
 

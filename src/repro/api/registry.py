@@ -18,6 +18,14 @@ from a ``(name, params)`` pair so that a whole campaign is plain data
   enabled-set maintenance strategies of :mod:`repro.core.engine`
   (``incremental``, ``scan``, ``debug``).
 
+Metrics tiers (``full`` | ``aggregate`` | ``off``) are deliberately
+*not* a registry: they are a closed three-value knob on
+:class:`~repro.core.simulator.Simulator` /
+:class:`~repro.api.ExperimentSpec` (see
+:data:`repro.core.metrics.METRICS_TIERS`), not an extensible component
+— a custom collector would plug in as an engine-style object, not a
+tier name.
+
 All built-in implementations are pre-registered below, including the
 full-read baselines, the k-window generalisations, and every scheduler
 in :mod:`repro.core.scheduler`.  Downstream code extends the API with

@@ -16,6 +16,7 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional
 
+from ..core.metrics import METRICS_TIERS
 from ..core.simulator import Simulator
 from .registry import (
     engine_registry,
@@ -49,10 +50,19 @@ class ExperimentSpec:
     #: enabled-set maintenance strategy ("incremental" | "scan" |
     #: "debug"); every engine produces identical executions.
     engine: str = "incremental"
+    #: metrics tier ("full" | "aggregate" | "off"): "aggregate" streams
+    #: the paper's measures without per-step records (identical final
+    #: measures, much cheaper); "off" disables collection entirely.
+    metrics: str = "full"
 
     def __post_init__(self):
         for name in ("protocol_params", "topology_params", "scheduler_params"):
             object.__setattr__(self, name, _frozen_params(getattr(self, name)))
+        if self.metrics not in METRICS_TIERS:
+            raise ValueError(
+                f"unknown metrics tier {self.metrics!r}; "
+                f"known: {METRICS_TIERS}"
+            )
 
     # ------------------------------------------------------------------
     # Serialization
@@ -68,6 +78,7 @@ class ExperimentSpec:
             "seed": self.seed,
             "max_rounds": self.max_rounds,
             "engine": self.engine,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -75,6 +86,7 @@ class ExperimentSpec:
         known = {f: data[f] for f in (
             "protocol", "protocol_params", "topology", "topology_params",
             "scheduler", "scheduler_params", "seed", "max_rounds", "engine",
+            "metrics",
         ) if f in data}
         unknown = set(data) - set(known)
         if unknown:
@@ -94,10 +106,17 @@ class ExperimentSpec:
         The ``engine`` field is deliberately excluded: it is a run-time
         strategy, not an experiment axis — all engines produce identical
         results — so switching engines (or upgrading from specs that
-        predate the field) still resumes from an existing sink.
+        predate the field) still resumes from an existing sink.  The
+        ``metrics`` tier is excluded on the same grounds for ``full``
+        and ``aggregate`` (the aggregate tier reports identical final
+        measures, and old sinks predate the field); ``metrics="off"``
+        *is* keyed, because its results carry zeroed measures and must
+        not be resumed into a measuring campaign.
         """
         payload = self.to_dict()
         del payload["engine"]
+        if self.metrics in ("full", "aggregate"):
+            del payload["metrics"]
         digest = hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode()
         ).hexdigest()[:12]
@@ -136,6 +155,7 @@ class ExperimentSpec:
             scheduler=self.build_scheduler(network),
             seed=self.seed,
             engine=self.build_engine(),
+            metrics=self.metrics,
         )
 
     def run(self):
@@ -148,22 +168,28 @@ class ExperimentSpec:
             seed=self.seed,
             max_rounds=self.max_rounds,
             engine=self.build_engine(),
+            metrics=self.metrics,
         )
 
 
 def execute_trial(protocol, network, scheduler, seed: int = 0,
-                  max_rounds: int = 50_000, engine="incremental"):
+                  max_rounds: int = 50_000, engine="incremental",
+                  metrics: str = "full"):
     """Run one protocol instance to silence and collect its metrics.
 
     The single execution path shared by :meth:`ExperimentSpec.run`, the
     campaign workers, and the legacy ``run_trial`` wrapper.  ``engine``
     selects the enabled-set maintenance strategy (name or instance);
     results are engine-independent by the equivalence contract.
+    ``metrics`` selects the collection tier — ``full`` and
+    ``aggregate`` produce identical :class:`TrialResult` rows (the
+    aggregate tier skips per-step record construction); ``off`` zeroes
+    the communication measures and is meant for pure-throughput runs.
     """
     from ..experiments.runner import TrialResult
 
     sim = Simulator(protocol, network, scheduler=scheduler, seed=seed,
-                    engine=engine)
+                    engine=engine, metrics=metrics)
     report = sim.run_until_silent(max_rounds=max_rounds)
     summary = sim.metrics.summary()
     return TrialResult(

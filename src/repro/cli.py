@@ -36,6 +36,7 @@ from .api import (
     scheduler_registry,
     topology_registry,
 )
+from .core.metrics import METRICS_TIERS
 from .experiments import format_table
 from .faults import availability_experiment
 from .graphs import Network, greedy_coloring
@@ -97,6 +98,7 @@ def spec_from_args(args, max_rounds: int = 50_000) -> ExperimentSpec:
             seed=args.seed,
             max_rounds=max_rounds,
             engine=getattr(args, "engine", None) or "incremental",
+            metrics=getattr(args, "metrics", None) or "full",
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -242,9 +244,14 @@ def cmd_campaign(args) -> int:
             campaign = Campaign.from_json_file(args.from_json)
         except (OSError, ValueError, KeyError) as exc:
             raise SystemExit(f"cannot load campaign {args.from_json!r}: {exc}")
+        overrides = {}
         if args.engine:
+            overrides["engine"] = args.engine
+        if args.metrics:
+            overrides["metrics"] = args.metrics
+        if overrides:
             campaign = Campaign(
-                spec.variant(engine=args.engine) for spec in campaign.specs
+                spec.variant(**overrides) for spec in campaign.specs
             )
     else:
         campaign = Campaign.grid(
@@ -254,6 +261,7 @@ def cmd_campaign(args) -> int:
             seeds=range(args.seeds),
             max_rounds=args.max_rounds,
             engine=args.engine or "incremental",
+            metrics=args.metrics or "full",
         )
     print(f"campaign: {len(campaign)} specs "
           f"({'process pool of ' + str(args.workers) if args.workers >= 2 else 'serial'})")
@@ -325,6 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enabled-set engine (incremental dirty-set "
                           "updates, full-scan fallback, or the "
                           "self-auditing debug mode)")
+    run.add_argument("--metrics", default="full", choices=METRICS_TIERS,
+                     help="metrics tier: full per-step records, "
+                          "streamed aggregates (identical measures, "
+                          "faster), or off (throughput only — the "
+                          "communication measures print as 0)")
     run.add_argument("--max-rounds", type=int, default=100_000)
     run.add_argument("--render", action="store_true")
     run.set_defaults(fn=cmd_run)
@@ -367,6 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="enabled-set engine applied to every spec "
                            "(with --from-json: overrides the loaded "
                            "specs' engines)")
+    camp.add_argument("--metrics", default=None, choices=METRICS_TIERS,
+                      help="metrics tier applied to every spec (with "
+                           "--from-json: overrides the loaded specs' "
+                           "tiers); aggregate keeps results identical "
+                           "to full at a fraction of the step cost")
     camp.add_argument("--max-rounds", type=int, default=50_000)
     camp.add_argument("--workers", type=int, default=0,
                       help=">=2 fans trials out over a process pool")

@@ -8,7 +8,7 @@ O(Δ·activated) per step instead of a full O(n·Δ) rescan.
 """
 
 from .actions import GuardedAction, first_enabled
-from .context import StepContext
+from .context import StepContext, StepContextPool
 from .engine import (
     ENGINE_NAMES,
     CrossCheckEngine,
@@ -26,7 +26,7 @@ from .exceptions import (
     ReproError,
     TopologyError,
 )
-from .metrics import MetricsCollector, StepRecord
+from .metrics import METRICS_TIERS, LeanStepRecord, MetricsCollector, StepRecord
 from .protocol import Protocol
 from .rounds import RoundTracker
 from .scheduler import (
@@ -40,8 +40,8 @@ from .scheduler import (
     make_scheduler,
 )
 from .silence import QuiescenceWitness, is_silent, silence_witness
-from .simulator import Simulator, StabilizationReport
-from .state import Configuration
+from .simulator import STATE_BACKENDS, Simulator, StabilizationReport
+from .state import Configuration, LegacyConfiguration, StateLayout, StateView
 from .trace import Trace, TraceEvent, TraceRecorder, record_run, verify_replay
 from .variables import (
     BOOL,
@@ -72,6 +72,9 @@ __all__ = [
     "IllegalRead",
     "IllegalWrite",
     "IntRange",
+    "LeanStepRecord",
+    "LegacyConfiguration",
+    "METRICS_TIERS",
     "MetricsCollector",
     "ModelError",
     "Protocol",
@@ -80,11 +83,15 @@ __all__ = [
     "ReproError",
     "RoundRobinScheduler",
     "RoundTracker",
+    "STATE_BACKENDS",
     "ScanEngine",
     "Scheduler",
     "Simulator",
     "StabilizationReport",
+    "StateLayout",
+    "StateView",
     "StepContext",
+    "StepContextPool",
     "StepRecord",
     "SynchronousScheduler",
     "Trace",

@@ -51,9 +51,12 @@ def first_enabled(
     Guard evaluations accumulate neighbor reads into ``ctx`` exactly as
     a real execution would: deciding which rule fires is itself
     communication, and the paper's k-efficiency measure charges for it.
+    Calls each guard directly (the hot path skips the
+    :meth:`GuardedAction.is_enabled` wrapper; ``if`` applies the same
+    truthiness the wrapper's ``bool()`` would).
     """
     for action in actions:
-        if action.is_enabled(ctx):
+        if action.guard(ctx):
             return action
     return None
 

@@ -43,7 +43,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Set, Tuple
 
 from .actions import first_enabled
-from .context import StepContext
+from .context import StepContextPool
 from .exceptions import ModelError
 
 ProcessId = Hashable
@@ -95,6 +95,12 @@ class EnabledSetEngine(ABC):
         self.config = config
         self.specs_of = specs_of
         self._actions = protocol.actions()
+        # Guard probes reuse pooled contexts (reset per evaluation)
+        # instead of allocating one per guard check: a scan costs n
+        # context builds otherwise.  Separate from the simulator's
+        # execution pool, so a lazy flush triggered mid-step can never
+        # clobber the read tracking of the step's execution contexts.
+        self._probe_pool = StepContextPool(network, config, specs_of)
         #: canonical position of each process — every engine presents
         #: the enabled pool in network-process order so that daemons
         #: drawing from it behave identically across engines.
@@ -146,12 +152,27 @@ class EnabledSetEngine(ABC):
         injection, adversarial resets, direct ``config.set`` calls.
         """
 
+    def rebind_config(self, config) -> None:
+        """Point the engine at a *replacement* configuration object.
+
+        Assigning ``Simulator.config`` swaps the storage every cached
+        row references, so the probe pool is rebuilt and the whole
+        enabled set distrusted.  This is wholesale replacement, not the
+        in-place mutation path — for that, :meth:`invalidate` alone is
+        enough.
+        """
+        self.config = config
+        self._probe_pool = StepContextPool(
+            self.network, config, self.specs_of
+        )
+        self.invalidate(None)
+
     # ------------------------------------------------------------------
     # Shared guard evaluation
     # ------------------------------------------------------------------
     def _is_enabled(self, p: ProcessId) -> bool:
         """One from-scratch guard evaluation for ``p`` against γ."""
-        ctx = StepContext(p, self.network, self.config, self.specs_of, rng=None)
+        ctx = self._probe_pool.acquire(p, rng=None)
         return first_enabled(self._actions, ctx) is not None
 
     def _scan(self) -> Set[ProcessId]:

@@ -11,18 +11,42 @@ Implements the measurable side of the paper's Section 3:
   observed with ``R_p ≤ k`` for x processes over a suffix is evidence of
   ♦-(x, k)-stability.
 
-The collector is fed one :class:`StepRecord` per step by the simulator
-and can be "re-armed" (``start_suffix``) at the silence point so the
-suffix read-sets measure the stabilized phase exactly as the paper's
-♦-notions require.
+The simulator feeds the collector through one of three *metrics tiers*
+(:data:`METRICS_TIERS`, the ``metrics=`` knob on
+:class:`~repro.core.simulator.Simulator` and
+:class:`~repro.api.ExperimentSpec`):
+
+* ``"full"`` — one :class:`StepRecord` per step, exactly the historical
+  behavior; required by traces and the replay tests.
+* ``"aggregate"`` — the paper's measures are folded straight off the
+  step's pooled contexts (:meth:`MetricsCollector.record_lean`) without
+  materializing a ``StepRecord``; every aggregate reported by
+  :meth:`MetricsCollector.summary` and the suffix machinery is
+  identical to the ``full`` tier's, at a fraction of the per-step cost.
+* ``"off"`` — the collector is never touched; only
+  ``Simulator.step_index`` and the round tracker advance.
+
+Memory contract: the collector itself is ``O(n + Σ|read sets|)`` —
+aggregates and per-process read sets, independent of run length.  Step
+records are **not retained** unless explicitly requested via
+``keep_records=N``, which keeps a bounded deque of the most recent N
+records (``MetricsCollector.records``); unbounded retention is
+deliberately impossible.  The collector can be "re-armed"
+(``start_suffix``) at the silence point so the suffix read-sets measure
+the stabilized phase exactly as the paper's ♦-notions require.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Set
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, FrozenSet, Hashable, List, Optional, Set
 
 ProcessId = Hashable
+
+#: Metrics tiers accepted by ``Simulator(metrics=...)`` and
+#: ``ExperimentSpec(metrics=...)``.
+METRICS_TIERS = ("full", "aggregate", "off")
 
 
 @dataclass(frozen=True)
@@ -40,10 +64,36 @@ class StepRecord:
     closed_round: bool
 
 
-class MetricsCollector:
-    """Aggregates step records into the paper's communication measures."""
+@dataclass(frozen=True)
+class LeanStepRecord:
+    """Skeletal step result returned under the non-``full`` tiers.
 
-    def __init__(self, processes: List[ProcessId]):
+    Carries just enough for the run loops (``closed_round`` drives
+    ``run_until_silent``); per-process read sets and rule names are
+    folded into the collector (``aggregate``) or dropped (``off``)
+    without ever being materialized.
+    """
+
+    index: int
+    activated_count: int
+    closed_round: bool
+
+
+class MetricsCollector:
+    """Aggregates step records into the paper's communication measures.
+
+    Parameters
+    ----------
+    processes:
+        The network's process list (aggregates are keyed per process).
+    keep_records:
+        Optional bounded retention: keep the most recent ``N`` full
+        :class:`StepRecord` objects in :attr:`records` for debugging.
+        The default ``0`` retains nothing — the memory contract of the
+        collector is independent of run length.
+    """
+
+    def __init__(self, processes: List[ProcessId], keep_records: int = 0):
         self._processes = list(processes)
         self.steps = 0
         self.rounds = 0
@@ -60,10 +110,18 @@ class MetricsCollector:
         #: accumulated neighbor-read sets since :meth:`start_suffix`
         self.suffix_read_sets: Optional[Dict[ProcessId, Set[int]]] = None
         self.suffix_start_step: Optional[int] = None
+        if keep_records < 0:
+            raise ValueError("keep_records must be >= 0")
+        self.keep_records = keep_records
+        #: bounded deque of the most recent records (None unless
+        #: ``keep_records > 0``; only the ``full`` tier feeds it)
+        self.records: Optional[Deque[StepRecord]] = (
+            deque(maxlen=keep_records) if keep_records else None
+        )
 
     # ------------------------------------------------------------------
     def record(self, record: StepRecord) -> None:
-        """Fold one step record into the aggregates (simulator hook)."""
+        """Fold one step record into the aggregates (``full``-tier hook)."""
         self.steps += 1
         if record.closed_round:
             self.rounds += 1
@@ -81,6 +139,56 @@ class MetricsCollector:
             if bits > self.max_bits_in_step:
                 self.max_bits_in_step = bits
             self.total_bits += bits
+        if self.records is not None:
+            self.records.append(record)
+
+    def record_lean(self, executions, closed_round: bool) -> None:
+        """Fold one step straight off the step contexts (``aggregate``).
+
+        ``executions`` is the simulator's ``(pid, ctx, action)`` list
+        for the step; the fold reads each context's ``ports_read`` /
+        ``bits_read`` in place and produces aggregates identical to
+        feeding :meth:`record` the equivalent :class:`StepRecord` —
+        the metrics-tier property tests pin that equivalence — without
+        ever building the record's frozensets and dicts.  A process
+        appearing twice in one selection (a scripted
+        ``FixedSequenceScheduler`` step can repeat pids) is folded
+        once, matching the ``full`` tier's frozenset/dict dedup.
+        """
+        self.steps += 1
+        if closed_round:
+            self.rounds += 1
+        activations = self.activations
+        read_sets = self.read_sets
+        suffix = self.suffix_read_sets
+        max_reads = self.max_reads_in_step
+        max_bits = self.max_bits_in_step
+        total_reads = self.total_reads
+        total_bits = self.total_bits
+        seen = set()
+        seen_add = seen.add
+        for p, ctx, _action in executions:
+            if p in seen:
+                continue
+            seen_add(p)
+            activations[p] += 1
+            ports = ctx.ports_read
+            count = len(ports)
+            if count:
+                if count > max_reads:
+                    max_reads = count
+                total_reads += count
+                read_sets[p].update(ports)
+                if suffix is not None:
+                    suffix[p].update(ports)
+            bits = ctx.bits_read
+            if bits > max_bits:
+                max_bits = bits
+            total_bits += bits
+        self.max_reads_in_step = max_reads
+        self.max_bits_in_step = max_bits
+        self.total_reads = total_reads
+        self.total_bits = total_bits
 
     # ------------------------------------------------------------------
     # Stability measurement

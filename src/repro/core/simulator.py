@@ -16,6 +16,17 @@ Implements the computation model of paper §2 faithfully:
   updates by default, with a full-scan fallback and a self-auditing
   debug mode), which powers :meth:`Simulator.enabled_processes` and the
   enabled-drawing daemons.
+
+Hot-path design (flat-state step loop): the default ``state="flat"``
+backend addresses process state as ``row[slot]`` through the indexed
+:class:`~repro.core.state.Configuration`, reuses one pooled
+:class:`~repro.core.context.StepContext` per process per run instead of
+allocating one per activation, and — under ``metrics="aggregate"`` —
+folds the paper's measures straight off the contexts without
+materializing per-step :class:`~repro.core.metrics.StepRecord` objects.
+``state="legacy"`` + ``metrics="full"`` reproduces the historical
+dict-of-dicts loop step for step; the flat-vs-legacy equivalence tests
+require byte-identical traces between the two.
 """
 
 from __future__ import annotations
@@ -25,17 +36,20 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Union
 
 from .actions import first_enabled
-from .context import StepContext
+from .context import StepContext, StepContextPool
 from .engine import EnabledSetEngine, make_engine
 from .exceptions import ConvergenceError
-from .metrics import MetricsCollector, StepRecord
+from .metrics import METRICS_TIERS, LeanStepRecord, MetricsCollector, StepRecord
 from .protocol import Protocol
 from .rounds import RoundTracker
 from .scheduler import Scheduler, SynchronousScheduler
 from .silence import is_silent, silence_witness
-from .state import Configuration
+from .state import Configuration, LegacyConfiguration
 
 ProcessId = Hashable
+
+#: Configuration backends accepted by ``Simulator(state=...)``.
+STATE_BACKENDS = ("flat", "legacy")
 
 
 @dataclass
@@ -71,7 +85,8 @@ class Simulator:
     config:
         Starting configuration; defaults to a fresh *arbitrary*
         (uniformly corrupted) configuration, the standard
-        self-stabilization starting point.
+        self-stabilization starting point.  A private copy is taken in
+        the requested ``state`` backend either way.
     engine:
         Enabled-set maintenance strategy: ``"incremental"`` (default),
         ``"scan"``, ``"debug"``, or a ready
@@ -81,6 +96,25 @@ class Simulator:
     full_scan:
         Convenience fallback: ``full_scan=True`` forces the ``"scan"``
         engine regardless of ``engine``.
+    metrics:
+        Metrics tier (:data:`~repro.core.metrics.METRICS_TIERS`):
+        ``"full"`` (default) returns one
+        :class:`~repro.core.metrics.StepRecord` per step exactly as
+        before; ``"aggregate"`` streams the paper's measures into the
+        collector without building records (identical final measures,
+        much cheaper — :meth:`step` then returns a
+        :class:`~repro.core.metrics.LeanStepRecord`); ``"off"`` skips
+        the collector entirely.  Traces require ``"full"``.
+    state:
+        Configuration backend (:data:`STATE_BACKENDS`): ``"flat"``
+        (default) runs the indexed row/slot hot path with pooled step
+        contexts; ``"legacy"`` runs the historical dict-of-dicts path
+        with per-activation context allocation — the reference both for
+        the equivalence tests and the performance benchmarks' baseline.
+    keep_records:
+        Bounded :class:`~repro.core.metrics.StepRecord` retention under
+        the ``full`` tier (most recent N on ``metrics.records``);
+        ``0`` (default) retains nothing.
     """
 
     def __init__(
@@ -92,7 +126,18 @@ class Simulator:
         config: Optional[Configuration] = None,
         engine: Union[str, EnabledSetEngine] = "incremental",
         full_scan: bool = False,
+        metrics: str = "full",
+        state: str = "flat",
+        keep_records: int = 0,
     ):
+        if metrics not in METRICS_TIERS:
+            raise ValueError(
+                f"unknown metrics tier {metrics!r}; known: {METRICS_TIERS}"
+            )
+        if state not in STATE_BACKENDS:
+            raise ValueError(
+                f"unknown state backend {state!r}; known: {STATE_BACKENDS}"
+            )
         self.protocol = protocol
         self.network = network
         self.scheduler = scheduler or SynchronousScheduler()
@@ -103,23 +148,72 @@ class Simulator:
         self.rng = random.Random(seed)
         self.specs_of = protocol.specs_of(network)
         self._actions = protocol.actions()
+        self.metrics_tier = metrics
+        self.state_backend = state
+        backend = Configuration if state == "flat" else LegacyConfiguration
         if config is None:
             config = protocol.arbitrary_configuration(network, self.rng)
+            if not isinstance(config, backend):
+                config = backend(config.as_dict())
         else:
-            config = config.copy()
+            # Private copy, normalized into the requested backend.
+            config = backend(config.as_dict())
         protocol.validate_configuration(network, config)
-        self.config = config
-        self.round_tracker = RoundTracker(network.processes)
-        self.metrics = MetricsCollector(network.processes)
+        self._config = config
+        # The canonical process list, cached once: Network.processes
+        # builds a fresh list per call, far too expensive per step.
+        self._processes = tuple(network.processes)
+        self.round_tracker = RoundTracker(self._processes)
+        self.metrics = MetricsCollector(
+            self._processes, keep_records=keep_records
+        )
         self.step_index = 0
         self.engine = make_engine("scan" if full_scan else engine)
         self.engine.bind(protocol, network, self.config, self.specs_of)
         self._enabled_pool = self.scheduler.draws_from == "enabled"
+        # Pooled contexts power the flat hot path; the legacy backend
+        # keeps the historical one-context-per-activation allocation so
+        # it stays a faithful baseline.
+        self._ctx_pool = (
+            StepContextPool(network, self.config, self.specs_of)
+            if state == "flat"
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Configuration access
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> Union[Configuration, LegacyConfiguration]:
+        """The live configuration γ.
+
+        Assigning a replacement configuration swaps the run's state
+        wholesale: the new object is normalized into the simulator's
+        backend, every pooled context is rebuilt (their cached rows
+        address the old storage), and the enabled-set engine is
+        rebound and fully invalidated.  In-place mutation via
+        :meth:`invalidate_enabled` remains the cheaper path for faults.
+        """
+        return self._config
+
+    @config.setter
+    def config(self, new_config) -> None:
+        backend = (
+            Configuration if self.state_backend == "flat" else LegacyConfiguration
+        )
+        if not isinstance(new_config, backend):
+            new_config = backend(new_config.as_dict())
+        self._config = new_config
+        if self._ctx_pool is not None:
+            self._ctx_pool = StepContextPool(
+                self.network, new_config, self.specs_of
+            )
+        self.engine.rebind_config(new_config)
 
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
-    def step(self) -> StepRecord:
+    def step(self) -> Union[StepRecord, LeanStepRecord]:
         """Execute one step and return its record.
 
         The scheduler draws from all processes, or — for daemons with
@@ -127,25 +221,53 @@ class Simulator:
         set (falling back to all processes when nothing is enabled, so
         a terminal configuration still closes rounds via no-op steps and
         silence is detected at the next round boundary).
+
+        Returns a full :class:`~repro.core.metrics.StepRecord` under
+        ``metrics="full"`` and a lean
+        :class:`~repro.core.metrics.LeanStepRecord` otherwise.
         """
         if self._enabled_pool:
-            pool = self.engine.enabled_list() or self.network.processes
+            pool = self.engine.enabled_list() or self._processes
         else:
-            pool = self.network.processes
+            pool = self._processes
         selected = self.scheduler.select(pool, self.rng)
         if not selected:
             raise ConvergenceError("scheduler selected an empty set")
 
         executions = []
+        append = executions.append
+        actions = self._actions
         action_rng = self.rng if self.protocol.randomized else None
-        for p in selected:
-            ctx = StepContext(
-                p, self.network, self.config, self.specs_of, rng=action_rng
-            )
-            action = first_enabled(self._actions, ctx)
-            if action is not None:
-                action.effect(ctx)
-            executions.append((p, ctx, action))
+        ctx_pool = self._ctx_pool
+        if ctx_pool is not None:
+            # Inlined StepContextPool.acquire / StepContext.reset: two
+            # function calls per activation are measurable at 10k
+            # activations per synchronous step.
+            ctxs = ctx_pool._ctxs
+            acquire = ctx_pool.acquire
+            for p in selected:
+                ctx = ctxs.get(p)
+                if ctx is None:
+                    ctx = acquire(p, action_rng)
+                else:
+                    ctx._rng = action_rng
+                    ctx._stamp += 1
+                    ctx.ports_read.clear()
+                    ctx.bits_read = 0.0
+                    ctx.writes.clear()
+                    ctx.used_randomness = False
+                action = first_enabled(actions, ctx)
+                if action is not None:
+                    action.effect(ctx)
+                append((p, ctx, action))
+        else:
+            network, config, specs_of = self.network, self.config, self.specs_of
+            for p in selected:
+                ctx = StepContext(p, network, config, specs_of, rng=action_rng)
+                action = first_enabled(actions, ctx)
+                if action is not None:
+                    action.effect(ctx)
+                append((p, ctx, action))
 
         # Simultaneous writes: γi+1 is built only after every activated
         # process has computed its action against γi.  Processes whose
@@ -153,13 +275,8 @@ class Simulator:
         # the engine — only they can flip a neighbor's enabled-status.
         comm_changed = []
         for p, ctx, _action in executions:
-            for name, value in ctx.comm_writes().items():
-                if self.config.get(p, name) != value:
-                    comm_changed.append(p)
-                    break
-        for p, ctx, _action in executions:
-            for name, value in ctx.writes.items():
-                self.config.set(p, name, value)
+            if ctx.flush_writes():
+                comm_changed.append(p)
         self.engine.note_step(selected, comm_changed)
 
         if self._enabled_pool:
@@ -168,20 +285,29 @@ class Simulator:
             )
         else:
             closed = self.round_tracker.record_step(selected)
-        record = StepRecord(
-            index=self.step_index,
-            activated=frozenset(selected),
-            executed={
-                p: (action.name if action else None)
-                for p, _ctx, action in executions
-            },
-            ports_read={p: frozenset(ctx.ports_read) for p, ctx, _ in executions},
-            bits_read={p: ctx.bits_read for p, ctx, _ in executions},
-            closed_round=closed,
-        )
-        self.metrics.record(record)
-        self.step_index += 1
-        return record
+
+        index = self.step_index
+        self.step_index = index + 1
+        tier = self.metrics_tier
+        if tier == "full":
+            record = StepRecord(
+                index=index,
+                activated=frozenset(selected),
+                executed={
+                    p: (action.name if action else None)
+                    for p, _ctx, action in executions
+                },
+                ports_read={
+                    p: frozenset(ctx.ports_read) for p, ctx, _ in executions
+                },
+                bits_read={p: ctx.bits_read for p, ctx, _ in executions},
+                closed_round=closed,
+            )
+            self.metrics.record(record)
+            return record
+        if tier == "aggregate":
+            self.metrics.record_lean(executions, closed)
+        return LeanStepRecord(index, len(selected), closed)
 
     def run_steps(self, count: int) -> None:
         """Execute exactly ``count`` steps."""
@@ -286,7 +412,9 @@ class Simulator:
 
         Returns each process's accumulated neighbor-read set over the
         suffix — the raw material of the ♦-(x, k)-stability measurement.
-        Call after reaching silence.
+        Call after reaching silence.  Works under the ``full`` and
+        ``aggregate`` tiers (both fold suffix read-sets); under
+        ``metrics="off"`` nothing accumulates.
         """
         self.metrics.start_suffix()
         self.run_rounds(extra_rounds)

@@ -2,14 +2,34 @@
 
 A *configuration* (paper §2) is an instance of the states of all
 processes; the *communication configuration* restricts each state to its
-communication variables.  Configurations here are immutable-by-convention
-nested dicts with explicit copy helpers so the simulator can implement
-the paper's read-from-``γi`` / write-to-``γi+1`` step semantics safely.
+communication variables.
+
+Two backends implement one contract:
+
+* :class:`Configuration` — the default **flat indexed** backend: one
+  interned :class:`StateLayout` (variable name → slot) per distinct
+  variable tuple, and one plain value list (*row*) per process.  The
+  hot step loop addresses state as ``row[slot]`` — no nested dicts —
+  while the classic dict API (:meth:`get` / :meth:`set` /
+  :meth:`state_of`) is kept as a compatibility view so protocols,
+  predicates, faults, and the verification/impossibility modules work
+  unchanged.
+* :class:`LegacyConfiguration` — the original dict-of-dicts backend,
+  retained as the reference implementation.  The flat-vs-legacy
+  trace-equivalence tests replay whole executions on both backends and
+  require byte-identical traces; it is also the fallback if a workload
+  ever needs per-process dynamic variable sets (the flat backend's
+  layouts are fixed at construction).
+
+Both backends are immutable-by-convention with explicit copy helpers so
+the simulator can implement the paper's read-from-``γi`` /
+write-to-``γi+1`` step semantics safely.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, Mapping, Tuple
+from collections.abc import MutableMapping
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Tuple
 
 from .exceptions import DomainError
 from .variables import VariableSpec
@@ -18,12 +38,282 @@ ProcessId = Hashable
 ProcessState = Dict[str, Any]
 
 
-class Configuration:
-    """States of all processes, split per variable kind on demand.
+class StateLayout:
+    """Interned ``variable name -> slot`` table for one variable tuple.
 
-    The mapping is ``pid -> {var_name: value}`` covering communication
-    variables, internal variables and communication constants alike;
-    the owning protocol's variable specs determine each name's kind.
+    All processes whose states declare the same variable names (in the
+    same order) share a single layout object, so a 10k-process network
+    running a uniform protocol carries exactly one name table instead of
+    10k per-process dicts.
+    """
+
+    __slots__ = ("names", "index")
+
+    def __init__(self, names: Tuple[str, ...]):
+        self.names = tuple(names)
+        self.index: Dict[str, int] = {n: i for i, n in enumerate(self.names)}
+
+    def __repr__(self) -> str:
+        return f"StateLayout({self.names!r})"
+
+
+#: Interned layouts keyed by their name tuple.  Bounded: the variety of
+#: layouts is tiny (one per protocol family), but a pathological
+#: workload generating unbounded distinct name sets would otherwise
+#: leak — so the cache resets past a generous cap.
+_LAYOUTS: Dict[Tuple[str, ...], StateLayout] = {}
+_LAYOUT_CACHE_CAP = 4096
+
+
+def _intern_layout(names: Tuple[str, ...]) -> StateLayout:
+    layout = _LAYOUTS.get(names)
+    if layout is None:
+        if len(_LAYOUTS) >= _LAYOUT_CACHE_CAP:
+            _LAYOUTS.clear()
+        layout = _LAYOUTS[names] = StateLayout(names)
+    return layout
+
+
+class StateView(MutableMapping):
+    """Write-through dict view of one process's row.
+
+    What :meth:`Configuration.state_of` returns: reads and writes hit
+    the flat row directly, so the view behaves like the mutable state
+    dict the legacy backend used to hand out.  The variable set is
+    fixed — assigning an undeclared name raises ``KeyError`` and
+    deletion is not supported.
+    """
+
+    __slots__ = ("_row", "_layout")
+
+    def __init__(self, row: List[Any], layout: StateLayout):
+        self._row = row
+        self._layout = layout
+
+    def __getitem__(self, name: str) -> Any:
+        return self._row[self._layout.index[name]]
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        slot = self._layout.index.get(name)
+        if slot is None:
+            raise KeyError(
+                f"no variable {name!r}; indexed configurations cannot "
+                f"grow new variables"
+            )
+        self._row[slot] = value
+
+    def __delitem__(self, name: str) -> None:
+        raise TypeError("configuration variables cannot be deleted")
+
+    def __iter__(self):
+        return iter(self._layout.names)
+
+    def __len__(self) -> int:
+        return len(self._layout.names)
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
+
+
+class BaseConfiguration:
+    """Contract shared by the flat and legacy configuration backends.
+
+    Subclasses provide :meth:`state_of`, :meth:`get`, :meth:`set`,
+    :attr:`processes`, :meth:`copy` and :meth:`as_dict`; equality is
+    backend-independent (a flat configuration equals a legacy one with
+    the same states), so equivalence tests can compare across backends
+    directly.
+    """
+
+    __slots__ = ()
+
+    # -- equality (full state, backend-independent) ---------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BaseConfiguration):
+            return NotImplemented
+        if self is other:
+            return True
+        return self.as_dict() == other.as_dict()
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    # -- shared derived operations --------------------------------------
+    def comm_projection(
+        self, specs_of: Mapping[ProcessId, Tuple[VariableSpec, ...]]
+    ) -> Dict[ProcessId, Tuple[Tuple[str, Any], ...]]:
+        """The communication configuration (paper §2): neighbor-readable
+        variables only, as a hashable canonical form."""
+        return {
+            p: self.comm_state_of(p, specs_of[p]) for p in self.processes
+        }
+
+    def comm_state_of(
+        self, p: ProcessId, specs: Tuple[VariableSpec, ...]
+    ) -> Tuple[Tuple[str, Any], ...]:
+        """Communication state of one process, canonical/hashable."""
+        state = self.state_of(p)
+        return tuple(
+            (spec.name, state[spec.name])
+            for spec in specs
+            if spec.readable_by_neighbors
+        )
+
+    def validate(
+        self, specs_of: Mapping[ProcessId, Tuple[VariableSpec, ...]]
+    ) -> None:
+        """Check every value sits in its declared domain."""
+        for p, specs in specs_of.items():
+            state = self.state_of(p)
+            for spec in specs:
+                if spec.name not in state:
+                    raise DomainError(f"{p!r} is missing variable {spec.name!r}")
+                if state[spec.name] not in spec.domain:
+                    raise DomainError(
+                        f"value {state[spec.name]!r} of {spec.name}.{p!r} "
+                        f"outside its domain"
+                    )
+
+
+class Configuration(BaseConfiguration):
+    """States of all processes over flat indexed storage.
+
+    Construction accepts the classic ``pid -> {var_name: value}``
+    mapping covering communication variables, internal variables and
+    communication constants alike; internally each process keeps one
+    value list addressed through an interned :class:`StateLayout`.
+
+    The fast-path accessors (:meth:`row_of`, :meth:`layout_of`,
+    :meth:`index_of`) expose the flat representation to the step loop;
+    rows are mutated in place and never rebound, so holders of a row
+    reference (pooled :class:`~repro.core.context.StepContext` objects)
+    stay valid for the configuration's lifetime.  Out-of-band writers
+    (fault injection) go through :meth:`set` / :meth:`state_of` and must
+    still call ``Simulator.invalidate_enabled`` afterwards.
+    """
+
+    __slots__ = ("_pids", "_pindex", "_layouts", "_rows")
+
+    def __init__(self, states: Mapping[ProcessId, Mapping[str, Any]]):
+        pids: List[ProcessId] = []
+        pindex: Dict[ProcessId, int] = {}
+        layouts: List[StateLayout] = []
+        rows: List[List[Any]] = []
+        for p, s in states.items():
+            layout = _intern_layout(tuple(s))
+            pindex[p] = len(pids)
+            pids.append(p)
+            layouts.append(layout)
+            rows.append([s[name] for name in layout.names])
+        self._pids = pids
+        self._pindex = pindex
+        self._layouts = layouts
+        self._rows = rows
+
+    # -- access (compatibility view) ------------------------------------
+    def state_of(self, p: ProcessId) -> StateView:
+        """Write-through mapping view of ``p``'s state (callers must not
+        abuse; out-of-band writes require engine invalidation)."""
+        i = self._pindex[p]
+        return StateView(self._rows[i], self._layouts[i])
+
+    def get(self, p: ProcessId, var: str) -> Any:
+        """The value of variable ``var`` of process ``p``."""
+        i = self._pindex[p]
+        return self._rows[i][self._layouts[i].index[var]]
+
+    def set(self, p: ProcessId, var: str, value: Any) -> None:
+        """Write ``var`` of ``p`` in place (unvalidated; the simulator
+        validates domains and, for out-of-band writes, callers must
+        invalidate the enabled-set engine)."""
+        i = self._pindex[p]
+        slot = self._layouts[i].index.get(var)
+        if slot is None:
+            raise KeyError(
+                f"{p!r} has no variable {var!r}; indexed configurations "
+                f"cannot grow new variables"
+            )
+        self._rows[i][slot] = value
+
+    @property
+    def processes(self) -> Iterable[ProcessId]:
+        """All process ids, in construction order."""
+        return tuple(self._pids)
+
+    # -- flat fast path --------------------------------------------------
+    def index_of(self, p: ProcessId) -> int:
+        """The process index of ``p`` (row number)."""
+        return self._pindex[p]
+
+    def row_of(self, p: ProcessId) -> List[Any]:
+        """``p``'s value row — mutated in place, never rebound."""
+        return self._rows[self._pindex[p]]
+
+    def layout_of(self, p: ProcessId) -> StateLayout:
+        """The interned layout addressing ``p``'s row."""
+        return self._layouts[self._pindex[p]]
+
+    # -- copies and projections -----------------------------------------
+    def copy(self) -> "Configuration":
+        """An independent deep-enough copy (rows are new lists; pids and
+        layouts are immutable and shared)."""
+        new = Configuration.__new__(Configuration)
+        new._pids = self._pids
+        new._pindex = self._pindex
+        new._layouts = self._layouts
+        new._rows = [list(row) for row in self._rows]
+        return new
+
+    def comm_projection(
+        self, specs_of: Mapping[ProcessId, Tuple[VariableSpec, ...]]
+    ) -> Dict[ProcessId, Tuple[Tuple[str, Any], ...]]:
+        """The communication configuration (paper §2): neighbor-readable
+        variables only, as a hashable canonical form."""
+        proj = {}
+        for i, p in enumerate(self._pids):
+            row = self._rows[i]
+            index = self._layouts[i].index
+            proj[p] = tuple(
+                (spec.name, row[index[spec.name]])
+                for spec in specs_of[p]
+                if spec.readable_by_neighbors
+            )
+        return proj
+
+    def comm_state_of(
+        self, p: ProcessId, specs: Tuple[VariableSpec, ...]
+    ) -> Tuple[Tuple[str, Any], ...]:
+        """Communication state of one process, canonical/hashable."""
+        i = self._pindex[p]
+        row = self._rows[i]
+        index = self._layouts[i].index
+        return tuple(
+            (spec.name, row[index[spec.name]])
+            for spec in specs
+            if spec.readable_by_neighbors
+        )
+
+    def __repr__(self) -> str:
+        return f"Configuration({self.as_dict()!r})"
+
+    def as_dict(self) -> Dict[ProcessId, ProcessState]:
+        """Deep-ish copy as plain dicts (values assumed immutable)."""
+        return {
+            p: dict(zip(self._layouts[i].names, self._rows[i]))
+            for i, p in enumerate(self._pids)
+        }
+
+
+class LegacyConfiguration(BaseConfiguration):
+    """The original dict-of-dicts configuration backend.
+
+    The mapping is ``pid -> {var_name: value}``.  Kept as the reference
+    implementation: the flat-vs-legacy equivalence tests replay whole
+    executions on both backends (``Simulator(..., state="legacy")``)
+    and require byte-identical traces.  Unlike the flat backend it
+    tolerates per-process dynamic variable sets, so it also serves as
+    an escape hatch for exotic workloads.
     """
 
     __slots__ = ("_states",)
@@ -48,65 +338,16 @@ class Configuration:
 
     @property
     def processes(self) -> Iterable[ProcessId]:
+        """All process ids, in construction order."""
         return self._states.keys()
 
-    # -- copies and projections -----------------------------------------
-    def copy(self) -> "Configuration":
+    # -- copies ----------------------------------------------------------
+    def copy(self) -> "LegacyConfiguration":
         """An independent deep-enough copy (per-process dicts are new)."""
-        return Configuration(self._states)
-
-    def comm_projection(
-        self, specs_of: Mapping[ProcessId, Tuple[VariableSpec, ...]]
-    ) -> Dict[ProcessId, Tuple[Tuple[str, Any], ...]]:
-        """The communication configuration (paper §2): neighbor-readable
-        variables only, as a hashable canonical form."""
-        proj = {}
-        for p, state in self._states.items():
-            readable = tuple(
-                (spec.name, state[spec.name])
-                for spec in specs_of[p]
-                if spec.readable_by_neighbors
-            )
-            proj[p] = readable
-        return proj
-
-    def comm_state_of(
-        self, p: ProcessId, specs: Tuple[VariableSpec, ...]
-    ) -> Tuple[Tuple[str, Any], ...]:
-        """Communication state of one process, canonical/hashable."""
-        state = self._states[p]
-        return tuple(
-            (spec.name, state[spec.name])
-            for spec in specs
-            if spec.readable_by_neighbors
-        )
-
-    # -- validation ------------------------------------------------------
-    def validate(self, specs_of: Mapping[ProcessId, Tuple[VariableSpec, ...]]) -> None:
-        """Check every value sits in its declared domain."""
-        for p, specs in specs_of.items():
-            state = self._states[p]
-            for spec in specs:
-                if spec.name not in state:
-                    raise DomainError(f"{p!r} is missing variable {spec.name!r}")
-                if state[spec.name] not in spec.domain:
-                    raise DomainError(
-                        f"value {state[spec.name]!r} of {spec.name}.{p!r} "
-                        f"outside its domain"
-                    )
-
-    # -- equality (full state) --------------------------------------------
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, Configuration):
-            return NotImplemented
-        return self._states == other._states
-
-    def __ne__(self, other: object) -> bool:
-        eq = self.__eq__(other)
-        return NotImplemented if eq is NotImplemented else not eq
+        return LegacyConfiguration(self._states)
 
     def __repr__(self) -> str:
-        return f"Configuration({self._states!r})"
+        return f"LegacyConfiguration({self._states!r})"
 
     def as_dict(self) -> Dict[ProcessId, ProcessState]:
         """Deep-ish copy as plain dicts (values assumed immutable)."""

@@ -118,6 +118,12 @@ class TraceRecorder:
     """Drives a :class:`Simulator` while recording a :class:`Trace`."""
 
     def __init__(self, sim: Simulator, seed: Optional[int] = None):
+        if getattr(sim, "metrics_tier", "full") != "full":
+            raise ValueError(
+                "TraceRecorder needs per-step records; construct the "
+                "Simulator with metrics='full' (the default), not "
+                f"metrics={sim.metrics_tier!r}"
+            )
         self.sim = sim
         self.trace = Trace(protocol=sim.protocol.name, seed=seed)
         self._specs_of = sim.protocol.specs_of(sim.network)

@@ -60,12 +60,15 @@ def run_trial(
     seed: int = 0,
     max_rounds: int = 50_000,
     engine: str = "incremental",
+    metrics: str = "full",
 ) -> TrialResult:
     """Run one protocol instance to silence and collect its metrics.
 
     Back-compat wrapper over :func:`repro.api.execute_trial`; ``engine``
     picks the enabled-set maintenance strategy (results are identical
-    across engines).
+    across engines) and ``metrics`` the collection tier (``full`` and
+    ``aggregate`` rows are identical; ``aggregate`` skips per-step
+    record construction).
     """
     from ..api.spec import execute_trial
 
@@ -76,6 +79,7 @@ def run_trial(
         seed=seed,
         max_rounds=max_rounds,
         engine=engine,
+        metrics=metrics,
     )
 
 

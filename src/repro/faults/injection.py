@@ -36,11 +36,18 @@ def corrupt_processes(
     rng: random.Random,
     kinds: Sequence[str] = ("comm", "internal"),
 ) -> List[ProcessId]:
-    """Write arbitrary in-domain values into each victim's variables."""
+    """Write arbitrary in-domain values into each victim's variables.
+
+    Writes go through the configuration's per-process state view (one
+    pid lookup per victim; on the flat indexed backend the view writes
+    straight into the victim's row, which pooled step contexts alias —
+    no cache to refresh).
+    """
     hit = []
     for p in victims:
+        state = sim.config.state_of(p)
         for spec in _writable_specs(sim, p, kinds):
-            sim.config.set(p, spec.name, spec.domain.sample(rng))
+            state[spec.name] = spec.domain.sample(rng)
         hit.append(p)
     # The writes bypassed Simulator.step, so the enabled-set engine must
     # be told which processes (and observers thereof) to re-examine.
@@ -84,6 +91,7 @@ def adversarial_reset(
     hit = []
     chosen = list(victims) if victims is not None else list(sim.network.processes)
     for p in chosen:
+        target = sim.config.state_of(p)
         for spec in _writable_specs(sim, p, ("comm", "internal")):
             if spec.name not in state:
                 continue
@@ -97,7 +105,7 @@ def adversarial_reset(
                     raise ValueError(
                         f"value {value!r} invalid for {spec.name}.{p!r}"
                     )
-            sim.config.set(p, spec.name, value)
+            target[spec.name] = value
         hit.append(p)
     sim.invalidate_enabled(hit)
     return hit

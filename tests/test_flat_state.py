@@ -1,0 +1,166 @@
+"""Flat indexed configurations: API compatibility and trace equivalence.
+
+The flat backend (``Configuration``) must be observationally identical
+to the legacy dict-of-dicts backend (``LegacyConfiguration``): the
+equivalence tests here replay whole executions on both backends —
+protocols × schedulers × engines × seeds — and require byte-identical
+JSONL traces, equal final configurations, and equal metrics.  The unit
+tests pin the compatibility surface (state views, projections, copies,
+cross-backend equality) the rest of the package relies on.
+"""
+
+import pytest
+
+from repro.api import protocol_registry, scheduler_registry, topology_registry
+from repro.core import (
+    Configuration,
+    LegacyConfiguration,
+    Simulator,
+    TraceRecorder,
+)
+from repro.core.state import StateLayout
+from repro.graphs import ring
+
+PROTOCOLS = ("coloring", "mis", "matching")
+SCHEDULERS = (
+    ("synchronous", {}),
+    ("central", {}),
+    ("random-subset", {"p_act": 0.4}),
+    ("central", {"enabled_only": True}),
+)
+ENGINES = ("incremental", "scan")
+SEEDS = (0, 3, 11)
+
+
+def _run_recorded(state, protocol, scheduler, sched_params, engine, seed,
+                  steps=30, n=12):
+    net = topology_registry.build("ring", n=n)
+    proto = protocol_registry.build(protocol, net)
+    sched = scheduler_registry.build(scheduler, net, **sched_params)
+    sim = Simulator(proto, net, scheduler=sched, seed=seed, engine=engine,
+                    state=state)
+    recorder = TraceRecorder(sim, seed=seed)
+    recorder.run_steps(steps)
+    return recorder.trace.to_jsonl(), sim
+
+
+class TestTraceEquivalence:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("scheduler,sched_params", SCHEDULERS)
+    def test_flat_and_legacy_traces_are_byte_identical(
+        self, protocol, scheduler, sched_params
+    ):
+        for engine in ENGINES:
+            for seed in SEEDS:
+                flat, flat_sim = _run_recorded(
+                    "flat", protocol, scheduler, sched_params, engine, seed
+                )
+                legacy, legacy_sim = _run_recorded(
+                    "legacy", protocol, scheduler, sched_params, engine, seed
+                )
+                label = (protocol, scheduler, engine, seed)
+                assert flat == legacy, label
+                # Final configurations compare across backends.
+                assert flat_sim.config == legacy_sim.config, label
+                assert type(flat_sim.config) is Configuration
+                assert type(legacy_sim.config) is LegacyConfiguration
+
+    def test_flat_and_legacy_metrics_agree(self):
+        for protocol in PROTOCOLS:
+            _trace, flat_sim = _run_recorded(
+                "flat", protocol, "central", {}, "incremental", seed=5
+            )
+            _trace, legacy_sim = _run_recorded(
+                "legacy", protocol, "central", {}, "incremental", seed=5
+            )
+            assert flat_sim.metrics.summary() == legacy_sim.metrics.summary()
+            assert flat_sim.metrics.activations == legacy_sim.metrics.activations
+            assert flat_sim.metrics.read_sets == legacy_sim.metrics.read_sets
+
+    def test_unknown_state_backend_rejected(self):
+        net = ring(4)
+        proto = protocol_registry.build("coloring", net)
+        with pytest.raises(ValueError, match="state backend"):
+            Simulator(proto, net, state="nested")
+
+
+class TestFlatConfiguration:
+    def test_dict_api_round_trip(self):
+        config = Configuration({0: {"C": 1, "cur": 2}, 1: {"C": 3, "cur": 1}})
+        assert config.get(0, "C") == 1
+        config.set(0, "C", 2)
+        assert config.get(0, "C") == 2
+        assert config.as_dict() == {0: {"C": 2, "cur": 2}, 1: {"C": 3, "cur": 1}}
+        assert list(config.processes) == [0, 1]
+
+    def test_set_unknown_variable_raises(self):
+        config = Configuration({0: {"C": 1}})
+        with pytest.raises(KeyError):
+            config.set(0, "missing", 9)
+        with pytest.raises(KeyError):
+            config.set(99, "C", 9)
+
+    def test_state_view_is_write_through(self):
+        config = Configuration({0: {"C": 1, "cur": 2}})
+        view = config.state_of(0)
+        assert dict(view) == {"C": 1, "cur": 2}
+        assert sorted(view.items()) == [("C", 1), ("cur", 2)]
+        view["C"] = 5
+        assert config.get(0, "C") == 5
+        with pytest.raises(KeyError):
+            view["nope"] = 1
+        with pytest.raises(TypeError):
+            del view["C"]
+
+    def test_copy_is_independent_and_shares_layouts(self):
+        config = Configuration({0: {"C": 1}, 1: {"C": 2}})
+        clone = config.copy()
+        clone.set(0, "C", 9)
+        assert config.get(0, "C") == 1
+        assert clone.get(0, "C") == 9
+        assert config.layout_of(0) is clone.layout_of(0)
+
+    def test_layouts_are_interned_across_processes(self):
+        config = Configuration({p: {"C": p, "cur": 1} for p in range(50)})
+        layouts = {id(config.layout_of(p)) for p in range(50)}
+        assert len(layouts) == 1
+        layout = config.layout_of(0)
+        assert isinstance(layout, StateLayout)
+        assert layout.index == {"C": 0, "cur": 1}
+
+    def test_row_access_aliases_storage(self):
+        config = Configuration({0: {"C": 1, "cur": 2}})
+        row = config.row_of(0)
+        slot = config.layout_of(0).index["C"]
+        row[slot] = 7
+        assert config.get(0, "C") == 7
+        assert config.index_of(0) == 0
+
+    def test_cross_backend_equality(self):
+        states = {0: {"C": 1, "cur": 2}, 1: {"C": 3, "cur": 1}}
+        flat = Configuration(states)
+        legacy = LegacyConfiguration(states)
+        assert flat == legacy
+        assert legacy == flat
+        legacy.set(1, "C", 9)
+        assert flat != legacy
+        assert flat != "not a configuration"
+
+    def test_comm_projection_matches_legacy(self):
+        net = ring(6)
+        proto = protocol_registry.build("mis", net)
+        specs_of = proto.specs_of(net)
+        sim = Simulator(proto, net, seed=2)
+        flat = sim.config
+        legacy = LegacyConfiguration(flat.as_dict())
+        assert flat.comm_projection(specs_of) == legacy.comm_projection(specs_of)
+        p = next(iter(net.processes))
+        assert flat.comm_state_of(p, specs_of[p]) == legacy.comm_state_of(
+            p, specs_of[p]
+        )
+
+    def test_empty_state_supported(self):
+        config = Configuration({0: {}})
+        assert dict(config.state_of(0)) == {}
+        assert config.as_dict() == {0: {}}
+        assert config.copy() == config
