@@ -39,11 +39,14 @@ from .api import (
     protocol_registry,
     register_engine,
     register_protocol,
+    register_scenario,
     register_scheduler,
     register_topology,
+    scenario_registry,
     scheduler_registry,
     topology_registry,
 )
+from .scenarios import Scenario
 from .core import (
     BoundedFairScheduler,
     CentralScheduler,
@@ -128,6 +131,7 @@ __all__ = [
     "RandomSubsetScheduler",
     "RoundRobinScheduler",
     "ScanEngine",
+    "Scenario",
     "Scheduler",
     "Simulator",
     "StabilizationReport",
@@ -151,8 +155,10 @@ __all__ = [
     "protocol_registry",
     "register_engine",
     "register_protocol",
+    "register_scenario",
     "register_scheduler",
     "register_topology",
+    "scenario_registry",
     "scheduler_registry",
     "topology_registry",
     "matching_over_coloring",

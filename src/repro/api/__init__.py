@@ -33,7 +33,8 @@ from .registry import (
     topology_registry,
 )
 from ..core.metrics import METRICS_TIERS
-from .spec import ExperimentSpec, execute_trial
+from .spec import ExperimentSpec, drive_simulator, execute_trial
+from ..scenarios.library import register_scenario, scenario_registry
 
 __all__ = [
     "Campaign",
@@ -41,14 +42,17 @@ __all__ = [
     "ExperimentSpec",
     "METRICS_TIERS",
     "Registry",
+    "drive_simulator",
     "engine_registry",
     "execute_trial",
     "load_campaign_results",
     "protocol_registry",
     "register_engine",
     "register_protocol",
+    "register_scenario",
     "register_scheduler",
     "register_topology",
+    "scenario_registry",
     "scheduler_registry",
     "topology_registry",
 ]

@@ -115,6 +115,8 @@ class Campaign:
         max_rounds: int = 50_000,
         engine: str = "incremental",
         metrics: str = "full",
+        scenario: Optional[str] = None,
+        scenario_params: Optional[Mapping[str, Any]] = None,
     ) -> "Campaign":
         """The full cross product of the four axes, in a stable order.
 
@@ -122,6 +124,9 @@ class Campaign:
         (run-time strategies, not experiment axes — all engines produce
         identical results, and the ``aggregate`` tier reports the same
         final measures as ``full`` at a fraction of the step cost).
+        ``scenario``/``scenario_params`` attach one named fault/churn
+        scenario to every spec; sweep scenario parameters by
+        concatenating grids (see ``examples/scenario_churn.py``).
         """
         specs = []
         for proto_name, proto_params in map(_normalize_component, protocols):
@@ -141,6 +146,8 @@ class Campaign:
                             max_rounds=max_rounds,
                             engine=engine,
                             metrics=metrics,
+                            scenario=scenario,
+                            scenario_params=dict(scenario_params or {}),
                         ))
         return cls(specs)
 

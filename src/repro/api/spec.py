@@ -54,21 +54,29 @@ class ExperimentSpec:
     #: the paper's measures without per-step records (identical final
     #: measures, much cheaper); "off" disables collection entirely.
     metrics: str = "full"
+    #: scenario name from the scenario registry (None = scenario-free
+    #: run).  A scenario is an experiment axis: it changes results, so
+    #: — unlike ``engine``/``metrics`` — it participates in ``key()``.
+    scenario: Optional[str] = None
+    scenario_params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self):
-        for name in ("protocol_params", "topology_params", "scheduler_params"):
+        for name in ("protocol_params", "topology_params",
+                     "scheduler_params", "scenario_params"):
             object.__setattr__(self, name, _frozen_params(getattr(self, name)))
         if self.metrics not in METRICS_TIERS:
             raise ValueError(
                 f"unknown metrics tier {self.metrics!r}; "
                 f"known: {METRICS_TIERS}"
             )
+        if self.scenario is None and self.scenario_params:
+            raise ValueError("scenario_params given without a scenario")
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "protocol": self.protocol,
             "protocol_params": dict(self.protocol_params),
             "topology": self.topology,
@@ -80,13 +88,19 @@ class ExperimentSpec:
             "engine": self.engine,
             "metrics": self.metrics,
         }
+        # Scenario-free specs serialize exactly as they did before the
+        # scenario axis existed, so old spec files and sinks stay valid.
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
+            out["scenario_params"] = dict(self.scenario_params)
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
         known = {f: data[f] for f in (
             "protocol", "protocol_params", "topology", "topology_params",
             "scheduler", "scheduler_params", "seed", "max_rounds", "engine",
-            "metrics",
+            "metrics", "scenario", "scenario_params",
         ) if f in data}
         unknown = set(data) - set(known)
         if unknown:
@@ -111,7 +125,10 @@ class ExperimentSpec:
         and ``aggregate`` (the aggregate tier reports identical final
         measures, and old sinks predate the field); ``metrics="off"``
         *is* keyed, because its results carry zeroed measures and must
-        not be resumed into a measuring campaign.
+        not be resumed into a measuring campaign.  The ``scenario``
+        axis *is* keyed (different fault scripts produce different
+        results), but a scenario-free spec keys exactly as it did
+        before the field existed, so pre-scenario sinks still resume.
         """
         payload = self.to_dict()
         del payload["engine"]
@@ -120,8 +137,11 @@ class ExperimentSpec:
         digest = hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode()
         ).hexdigest()[:12]
-        return (f"{self.protocol}/{self.topology}/{self.scheduler}"
-                f"/s{self.seed}/{digest}")
+        prefix = (f"{self.protocol}/{self.topology}/{self.scheduler}"
+                  f"/s{self.seed}")
+        if self.scenario is not None:
+            prefix += f"/{self.scenario}"
+        return f"{prefix}/{digest}"
 
     def variant(self, **overrides) -> "ExperimentSpec":
         """A copy with some fields replaced (e.g. ``variant(seed=7)``)."""
@@ -146,6 +166,20 @@ class ExperimentSpec:
     def build_engine(self):
         return engine_registry.build(self.engine)
 
+    def build_scenario(self):
+        """The spec's :class:`~repro.scenarios.Scenario` (None if unset)."""
+        if self.scenario is None:
+            return None
+        from ..scenarios.library import scenario_registry
+
+        return scenario_registry.build(self.scenario, **self.scenario_params)
+
+    def protocol_factory(self):
+        """A ``network -> Protocol`` rebuild hook for topology churn."""
+        return lambda network: protocol_registry.build(
+            self.protocol, network, **self.protocol_params
+        )
+
     def build_simulator(self) -> Simulator:
         """A ready-to-run :class:`Simulator` for this spec."""
         network = self.build_network()
@@ -156,10 +190,12 @@ class ExperimentSpec:
             seed=self.seed,
             engine=self.build_engine(),
             metrics=self.metrics,
+            scenario=self.build_scenario(),
+            protocol_factory=self.protocol_factory(),
         )
 
     def run(self):
-        """Run this spec to silence; returns a ``TrialResult``."""
+        """Run this spec (scenario included); returns a ``TrialResult``."""
         network = self.build_network()
         return execute_trial(
             self.build_protocol(network),
@@ -169,12 +205,46 @@ class ExperimentSpec:
             max_rounds=self.max_rounds,
             engine=self.build_engine(),
             metrics=self.metrics,
+            scenario=self.build_scenario(),
+            protocol_factory=self.protocol_factory(),
         )
+
+
+def drive_simulator(sim: Simulator, max_rounds: int = 50_000):
+    """Run a (possibly scenario-bearing) simulator to completion.
+
+    The shared run policy of :func:`execute_trial` and the CLI:
+
+    * no scenario, or a scenario with no round horizon — run to
+      silence; then, while fire-once events (``after_silence`` faults,
+      scheduled one-shots) are still pending, step round by round so
+      they fire and re-stabilize after each disturbance;
+    * a scenario with ``horizon_rounds`` (periodic fault/churn scripts
+      never exhaust) — run exactly that many rounds and report the
+      final configuration's state.
+
+    Returns the closing :class:`~repro.core.simulator.StabilizationReport`.
+    """
+    runtime = sim.scenario_runtime
+    if runtime is not None and runtime.horizon_rounds:
+        sim.run_rounds(min(runtime.horizon_rounds, max_rounds))
+        return sim.report()
+    report = sim.run_until_silent(max_rounds=max_rounds)
+    if runtime is None:
+        return report
+    extra = 0
+    while runtime.pending_oneshots and extra < max_rounds:
+        sim.run_rounds(1)  # no-op steps while silent; events fire here
+        extra += 1
+        if not sim.is_silent():
+            report = sim.run_until_silent(max_rounds=max_rounds)
+    return report
 
 
 def execute_trial(protocol, network, scheduler, seed: int = 0,
                   max_rounds: int = 50_000, engine="incremental",
-                  metrics: str = "full"):
+                  metrics: str = "full", scenario=None,
+                  protocol_factory=None):
     """Run one protocol instance to silence and collect its metrics.
 
     The single execution path shared by :meth:`ExperimentSpec.run`, the
@@ -185,13 +255,20 @@ def execute_trial(protocol, network, scheduler, seed: int = 0,
     ``aggregate`` produce identical :class:`TrialResult` rows (the
     aggregate tier skips per-step record construction); ``off`` zeroes
     the communication measures and is meant for pure-throughput runs.
+    ``scenario`` (a :class:`~repro.scenarios.Scenario`) scripts faults,
+    churn, and daemon swaps into the run — see :func:`drive_simulator`
+    for the run policy — with ``protocol_factory`` supplying the
+    protocol rebuild hook topology churn needs.
     """
     from ..experiments.runner import TrialResult
 
     sim = Simulator(protocol, network, scheduler=scheduler, seed=seed,
-                    engine=engine, metrics=metrics)
-    report = sim.run_until_silent(max_rounds=max_rounds)
+                    engine=engine, metrics=metrics, scenario=scenario,
+                    protocol_factory=protocol_factory)
+    report = drive_simulator(sim, max_rounds=max_rounds)
     summary = sim.metrics.summary()
+    # Churn may have replaced the network mid-run; report the final one.
+    network = sim.network
     return TrialResult(
         protocol=protocol.name,
         scheduler=sim.scheduler.name,
@@ -206,4 +283,8 @@ def execute_trial(protocol, network, scheduler, seed: int = 0,
         total_bits=summary["total_bits"],
         legitimate=report.legitimate,
         silent=report.silent,
+        faults_injected=int(summary["faults_injected"]),
+        availability=float(summary["availability"]),
+        mean_recovery_rounds=float(summary["mean_recovery_rounds"]),
+        post_fault_bits=float(summary["post_fault_bits"]),
     )

@@ -4,6 +4,8 @@ Examples::
 
     python -m repro run coloring --topology ring --n 16
     python -m repro run mis --topology gnp --n 30 --seed 4 --render
+    python -m repro run mis --topology ring --n 16 \\
+        --scenario single-fault:fraction=0.5
     python -m repro stability matching --topology chain --n 12
     python -m repro demo thm1-splice
     python -m repro availability coloring --topology grid --n 25
@@ -31,14 +33,15 @@ from .analysis import (
 from .api import (
     Campaign,
     ExperimentSpec,
+    drive_simulator,
     engine_registry,
     protocol_registry,
+    scenario_registry,
     scheduler_registry,
     topology_registry,
 )
 from .core.metrics import METRICS_TIERS
 from .experiments import format_table
-from .faults import availability_experiment
 from .graphs import Network, greedy_coloring
 from .impossibility import (
     theorem1_gadget_demo,
@@ -81,6 +84,18 @@ def topology_params_from_args(args) -> Dict[str, Any]:
                          f"known: {sorted(makers)}")
 
 
+def scenario_from_args(args) -> Tuple[Optional[str], Dict[str, Any]]:
+    """Parse ``--scenario name:key=value,...`` into registry terms."""
+    entry = getattr(args, "scenario", None)
+    if not entry:
+        return None, {}
+    name, params = parse_component(entry)
+    if name not in scenario_registry:
+        raise SystemExit(f"unknown scenario {name!r}; "
+                         f"known: {scenario_registry.names()}")
+    return name, params
+
+
 def spec_from_args(args, max_rounds: int = 50_000) -> ExperimentSpec:
     if args.protocol not in protocol_registry:
         raise SystemExit(f"unknown protocol {args.protocol!r}; "
@@ -89,6 +104,7 @@ def spec_from_args(args, max_rounds: int = 50_000) -> ExperimentSpec:
     if scheduler is not None and scheduler not in scheduler_registry:
         raise SystemExit(f"unknown scheduler {scheduler!r}; "
                          f"known: {scheduler_registry.names()}")
+    scenario, scenario_params = scenario_from_args(args)
     try:
         return ExperimentSpec(
             protocol=args.protocol,
@@ -99,6 +115,8 @@ def spec_from_args(args, max_rounds: int = 50_000) -> ExperimentSpec:
             max_rounds=max_rounds,
             engine=getattr(args, "engine", None) or "incremental",
             metrics=getattr(args, "metrics", None) or "full",
+            scenario=scenario,
+            scenario_params=scenario_params,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -142,14 +160,26 @@ def _render(protocol_name: str, network, config) -> str:
 def cmd_run(args) -> int:
     spec = spec_from_args(args, max_rounds=args.max_rounds)
     sim = spec.build_simulator()
+    report = drive_simulator(sim, max_rounds=args.max_rounds)
+    # Read protocol/network after the run: churn may have replaced them.
     protocol, network = sim.protocol, sim.network
-    report = sim.run_until_silent(max_rounds=args.max_rounds)
     print(f"{protocol.name} on {args.topology} "
           f"(n={network.n}, m={network.m}, Δ={network.max_degree})")
     print(f"  stabilized={report.stabilized} rounds={report.rounds} "
           f"steps={report.steps}")
     print(f"  k-efficiency={sim.metrics.observed_k_efficiency()} "
           f"max-bits/step={sim.metrics.max_bits_in_step:.2f}")
+    runtime = sim.scenario_runtime
+    if runtime is not None:
+        metrics = sim.metrics
+        print(f"  scenario {spec.scenario!r}: "
+              f"{len(runtime.applied)} events applied, "
+              f"{metrics.faults_injected} faults, "
+              f"mean recovery {metrics.mean_recovery_rounds:.1f} rounds, "
+              f"post-fault bits {metrics.post_fault_bits:.1f}")
+        for applied in runtime.applied:
+            print(f"    @step {applied.step} (round {applied.round}): "
+                  f"{applied.description}")
     if args.protocol == "mis":
         print(f"  Lemma 4 round bound: "
               f"{mis_round_bound(network, greedy_coloring(network))}")
@@ -193,20 +223,21 @@ def cmd_demo(args) -> int:
 
 
 def cmd_availability(args) -> int:
-    network = build_topology(args)
-    protocol = build_protocol(args.protocol, network)
-    report = availability_experiment(
-        protocol,
-        network,
-        fault_period_rounds=args.fault_period,
-        fault_fraction=args.fault_fraction,
-        total_rounds=args.total_rounds,
-        seed=args.seed,
+    """Periodic-fault availability, as a spec-driven scenario run."""
+    spec = spec_from_args(args).variant(
+        scenario="periodic-faults",
+        scenario_params={
+            "period_rounds": args.fault_period,
+            "fraction": args.fault_fraction,
+            "total_rounds": args.total_rounds,
+        },
     )
-    print(f"{protocol.name}: {report.faults_injected} faults over "
-          f"{args.total_rounds} rounds")
-    print(f"  availability: {report.availability:.1%} "
-          f"(mean recovery {report.mean_recovery_rounds:.1f} rounds)")
+    result = spec.run()
+    print(f"{result.protocol}: {result.faults_injected} faults over "
+          f"{args.total_rounds} rounds  [spec key {spec.key()}]")
+    print(f"  availability: {result.availability:.1%} "
+          f"(mean recovery {result.mean_recovery_rounds:.1f} rounds, "
+          f"post-fault bits {result.post_fault_bits:.1f})")
     return 0
 
 
@@ -249,11 +280,16 @@ def cmd_campaign(args) -> int:
             overrides["engine"] = args.engine
         if args.metrics:
             overrides["metrics"] = args.metrics
+        if getattr(args, "scenario", None):
+            name, params = scenario_from_args(args)
+            overrides["scenario"] = name
+            overrides["scenario_params"] = params
         if overrides:
             campaign = Campaign(
                 spec.variant(**overrides) for spec in campaign.specs
             )
     else:
+        scenario, scenario_params = scenario_from_args(args)
         campaign = Campaign.grid(
             protocols=[parse_component(p) for p in args.protocols],
             topologies=[parse_component(t) for t in args.topologies],
@@ -262,6 +298,8 @@ def cmd_campaign(args) -> int:
             max_rounds=args.max_rounds,
             engine=args.engine or "incremental",
             metrics=args.metrics or "full",
+            scenario=scenario,
+            scenario_params=scenario_params,
         )
     print(f"campaign: {len(campaign)} specs "
           f"({'process pool of ' + str(args.workers) if args.workers >= 2 else 'serial'})")
@@ -338,6 +376,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "streamed aggregates (identical measures, "
                           "faster), or off (throughput only — the "
                           "communication measures print as 0)")
+    run.add_argument("--scenario", default=None,
+                     help="fault/churn scenario, name:key=value,... "
+                          f"(known: {', '.join(scenario_registry.names())})")
     run.add_argument("--max-rounds", type=int, default=100_000)
     run.add_argument("--render", action="store_true")
     run.set_defaults(fn=cmd_run)
@@ -385,6 +426,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "--from-json: overrides the loaded specs' "
                            "tiers); aggregate keeps results identical "
                            "to full at a fraction of the step cost")
+    camp.add_argument("--scenario", default=None,
+                      help="fault/churn scenario applied to every spec, "
+                           "name:key=value,... (with --from-json: "
+                           "overrides the loaded specs' scenarios); "
+                           f"known: {', '.join(scenario_registry.names())}")
     camp.add_argument("--max-rounds", type=int, default=50_000)
     camp.add_argument("--workers", type=int, default=0,
                       help=">=2 fans trials out over a process pool")

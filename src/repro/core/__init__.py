@@ -28,6 +28,7 @@ from .exceptions import (
 )
 from .metrics import METRICS_TIERS, LeanStepRecord, MetricsCollector, StepRecord
 from .protocol import Protocol
+from .rngstreams import RngStreams, derive_seed
 from .rounds import RoundTracker
 from .scheduler import (
     BoundedFairScheduler,
@@ -42,7 +43,14 @@ from .scheduler import (
 from .silence import QuiescenceWitness, is_silent, silence_witness
 from .simulator import STATE_BACKENDS, Simulator, StabilizationReport
 from .state import Configuration, LegacyConfiguration, StateLayout, StateView
-from .trace import Trace, TraceEvent, TraceRecorder, record_run, verify_replay
+from .trace import (
+    FaultEvent,
+    Trace,
+    TraceEvent,
+    TraceRecorder,
+    record_run,
+    verify_replay,
+)
 from .variables import (
     BOOL,
     Domain,
@@ -65,6 +73,7 @@ __all__ = [
     "DomainError",
     "ENGINE_NAMES",
     "EnabledSetEngine",
+    "FaultEvent",
     "FiniteSet",
     "FixedSequenceScheduler",
     "GuardedAction",
@@ -81,6 +90,7 @@ __all__ = [
     "QuiescenceWitness",
     "RandomSubsetScheduler",
     "ReproError",
+    "RngStreams",
     "RoundRobinScheduler",
     "RoundTracker",
     "STATE_BACKENDS",
@@ -101,6 +111,7 @@ __all__ = [
     "VariableSpec",
     "comm",
     "const",
+    "derive_seed",
     "first_enabled",
     "internal",
     "is_silent",

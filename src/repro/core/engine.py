@@ -167,6 +167,30 @@ class EnabledSetEngine(ABC):
         )
         self.invalidate(None)
 
+    def rebind_network(self, protocol, network, config, specs_of) -> None:
+        """Re-attach a bound engine to a *mutated* run (topology churn).
+
+        Scenario churn events replace the network, the protocol built
+        for it, the configuration and the variable specs wholesale.
+        The engine rebuilds everything derived from them — guard
+        probes, the canonical process order, and (for the incremental
+        engine) the influence map — and distrusts the entire enabled
+        set.  Only legal on an already-bound engine; fresh engines go
+        through :meth:`bind`.
+        """
+        if not getattr(self, "_bound", False):
+            raise ValueError(
+                f"{type(self).__name__} is not bound yet; call bind() first"
+            )
+        self.protocol = protocol
+        self.network = network
+        self.config = config
+        self.specs_of = specs_of
+        self._actions = protocol.actions()
+        self._probe_pool = StepContextPool(network, config, specs_of)
+        self._order = {p: i for i, p in enumerate(network.processes)}
+        self.invalidate(None)
+
     # ------------------------------------------------------------------
     # Shared guard evaluation
     # ------------------------------------------------------------------
@@ -258,6 +282,17 @@ class IncrementalEngine(EnabledSetEngine):
         self._stale_all = False
         self._enabled: Set[ProcessId] = self._scan()
         self._list: Optional[Tuple[ProcessId, ...]] = None
+
+    def rebind_network(self, protocol, network, config, specs_of) -> None:
+        """Base rebind plus a fresh influence map for the new topology
+        (the old map would route invalidations to stale neighborhoods)."""
+        super().rebind_network(protocol, network, config, specs_of)
+        self._n = network.n
+        influence: Dict[ProcessId, list] = {p: [] for p in network.processes}
+        for p in network.processes:
+            for q in protocol.reads(network, p):
+                influence[q].append(p)
+        self._influence = {q: tuple(ps) for q, ps in influence.items()}
 
     # ------------------------------------------------------------------
     def note_step(self, activated, comm_changed) -> None:

@@ -118,6 +118,22 @@ class MetricsCollector:
         self.records: Optional[Deque[StepRecord]] = (
             deque(maxlen=keep_records) if keep_records else None
         )
+        # -- scenario measures (fed by fault injection / ScenarioRuntime;
+        #    all stay zero on scenario-free runs, and the ``off`` tier
+        #    never feeds them) ------------------------------------------
+        #: number of fault/churn events applied to the run
+        self.faults_injected = 0
+        #: total processes hit across all fault events
+        self.fault_victims = 0
+        #: rounds from each fault to the return of silence
+        self.recovery_rounds: List[int] = []
+        #: steps from each fault to the return of silence
+        self.recovery_steps: List[int] = []
+        #: neighbor-read bits spent between faults and re-silence
+        self.post_fault_bits = 0.0
+        #: per-step legitimacy samples (availability tracking only)
+        self.availability_steps = 0
+        self.legitimate_steps = 0
 
     # ------------------------------------------------------------------
     def record(self, record: StepRecord) -> None:
@@ -191,6 +207,65 @@ class MetricsCollector:
         self.total_bits = total_bits
 
     # ------------------------------------------------------------------
+    # Scenario measures (faults, recovery, availability)
+    # ------------------------------------------------------------------
+    def record_fault(self, victims: int) -> None:
+        """Count one applied fault/churn event hitting ``victims``
+        processes (streamed by :meth:`Simulator.note_fault
+        <repro.core.simulator.Simulator.note_fault>` and the scenario
+        runtime under the ``full`` and ``aggregate`` tiers)."""
+        self.faults_injected += 1
+        self.fault_victims += victims
+
+    def record_recovery(self, rounds: int, steps: int, bits: float) -> None:
+        """Record one fault → re-silence cycle: the recovery rounds,
+        the steps to re-silence, and the neighbor-read bits spent in
+        between (the post-fault read-bit overhead)."""
+        self.recovery_rounds.append(rounds)
+        self.recovery_steps.append(steps)
+        self.post_fault_bits += bits
+
+    def record_availability_step(self, legitimate: bool) -> None:
+        """Fold one per-step legitimacy sample (availability tracking)."""
+        self.availability_steps += 1
+        if legitimate:
+            self.legitimate_steps += 1
+
+    @property
+    def availability(self) -> float:
+        """Fraction of sampled steps spent legitimate (1.0 untracked)."""
+        if self.availability_steps == 0:
+            return 1.0
+        return self.legitimate_steps / self.availability_steps
+
+    @property
+    def mean_recovery_rounds(self) -> float:
+        """Mean rounds from fault to re-silence (0.0 when no recovery
+        was measured)."""
+        if not self.recovery_rounds:
+            return 0.0
+        return sum(self.recovery_rounds) / len(self.recovery_rounds)
+
+    # ------------------------------------------------------------------
+    # Topology churn
+    # ------------------------------------------------------------------
+    def rebind_processes(self, processes: List[ProcessId]) -> None:
+        """Extend the per-process aggregates after topology churn.
+
+        Joined processes get zeroed entries; departed processes keep
+        theirs (their activity happened and stays counted).  The
+        stability queries (:meth:`suffix_stable_processes`) answer for
+        the *current* process set.
+        """
+        for p in processes:
+            if p not in self.activations:
+                self.activations[p] = 0
+                self.read_sets[p] = set()
+                if self.suffix_read_sets is not None:
+                    self.suffix_read_sets[p] = set()
+        self._processes = list(processes)
+
+    # ------------------------------------------------------------------
     # Stability measurement
     # ------------------------------------------------------------------
     def start_suffix(self) -> None:
@@ -227,4 +302,9 @@ class MetricsCollector:
             "max_bits_per_step": self.max_bits_in_step,
             "total_bits": self.total_bits,
             "total_reads": self.total_reads,
+            "faults_injected": self.faults_injected,
+            "fault_victims": self.fault_victims,
+            "availability": self.availability,
+            "mean_recovery_rounds": self.mean_recovery_rounds,
+            "post_fault_bits": self.post_fault_bits,
         }

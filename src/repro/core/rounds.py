@@ -67,6 +67,26 @@ class RoundTracker:
             return True
         return False
 
+    def rebind(self, processes: Sequence[ProcessId]) -> None:
+        """Re-point the tracker at a mutated process set (topology churn).
+
+        ``completed_rounds`` is preserved.  Departed processes are
+        dropped from the current round's remainder; joined processes
+        must be served before the current round can close (they are, by
+        definition, not yet activated in it).  If every pending process
+        departed, the current round closes immediately.
+        """
+        new_all = set(processes)
+        if not new_all:
+            raise ValueError("round tracking requires at least one process")
+        joined = new_all - self._all
+        self._remaining.intersection_update(new_all)
+        self._remaining.update(joined)
+        self._all = new_all
+        if not self._remaining:
+            self._completed += 1
+            self._remaining = set(self._all)
+
     def reset(self) -> None:
         """Restart accounting: zero rounds, a fresh full remainder set."""
         self._remaining = set(self._all)

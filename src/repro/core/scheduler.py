@@ -65,6 +65,16 @@ class Scheduler(ABC):
     def reset(self) -> None:
         """Forget any internal pacing state (called when a run restarts)."""
 
+    def rebind_network(self, network) -> None:
+        """Adopt a mutated network (topology churn).
+
+        Most daemons are network-oblivious (they only see the selection
+        pool), so the default is a no-op; network-aware daemons (the
+        locally central one) override this.  Schedulers with explicit
+        per-process scripts (fixed-sequence) are incompatible with
+        churn that removes their scripted processes.
+        """
+
 
 class SynchronousScheduler(Scheduler):
     """Every process in the pool acts in every step.
@@ -245,6 +255,10 @@ class LocallyCentralScheduler(Scheduler):
                 taken.update(self.network.neighbors(p))
             if chosen:
                 return chosen
+
+    def rebind_network(self, network) -> None:
+        """Independence is topological: track the mutated network."""
+        self.network = network
 
 DEFAULT_SCHEDULERS = (
     SynchronousScheduler,

@@ -31,7 +31,6 @@ require byte-identical traces between the two.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Union
 
@@ -41,6 +40,7 @@ from .engine import EnabledSetEngine, make_engine
 from .exceptions import ConvergenceError
 from .metrics import METRICS_TIERS, LeanStepRecord, MetricsCollector, StepRecord
 from .protocol import Protocol
+from .rngstreams import RngStreams
 from .rounds import RoundTracker
 from .scheduler import Scheduler, SynchronousScheduler
 from .silence import is_silent, silence_witness
@@ -80,8 +80,12 @@ class Simulator:
     scheduler:
         Defaults to the synchronous scheduler (one step per round).
     seed:
-        Seeds the single :class:`random.Random` driving both the
-        scheduler and any randomized actions, so runs replay exactly.
+        Seeds the run's named RNG streams
+        (:class:`~repro.core.rngstreams.RngStreams`): the root stream
+        drives the scheduler and any randomized actions exactly as the
+        historical single run RNG did, while scenarios draw from an
+        independent derived stream — runs replay exactly, and adding a
+        scenario never changes the scheduler's draw sequence.
     config:
         Starting configuration; defaults to a fresh *arbitrary*
         (uniformly corrupted) configuration, the standard
@@ -115,6 +119,20 @@ class Simulator:
         Bounded :class:`~repro.core.metrics.StepRecord` retention under
         the ``full`` tier (most recent N on ``metrics.records``);
         ``0`` (default) retains nothing.
+    scenario:
+        Optional scenario script (any object exposing ``bind(sim)``
+        returning a runtime with ``before_step``/``after_step`` hooks —
+        :class:`repro.scenarios.Scenario` in practice).  Events draw
+        from the dedicated ``scenario`` RNG stream, so attaching one
+        never perturbs the scheduler's or the protocol's draws; a run
+        without a scenario pays one attribute check per step.
+    protocol_factory:
+        ``network -> Protocol`` rebuild hook required by topology-churn
+        scenario events (:meth:`rebind_network`): after a node/edge
+        mutation the protocol must be re-instantiated for the new
+        network (degrees, palettes and local-identifier colorings are
+        network-derived).  ``ExperimentSpec.build_simulator`` supplies
+        the registry builder automatically.
     """
 
     def __init__(
@@ -129,6 +147,8 @@ class Simulator:
         metrics: str = "full",
         state: str = "flat",
         keep_records: int = 0,
+        scenario=None,
+        protocol_factory: Optional[Callable] = None,
     ):
         if metrics not in METRICS_TIERS:
             raise ValueError(
@@ -145,7 +165,12 @@ class Simulator:
         # starvation counters, scripted prefix) must not carry pacing
         # state from a previous simulator into this run.
         self.scheduler.reset()
-        self.rng = random.Random(seed)
+        #: named RNG streams; the historical single run RNG survives as
+        #: the root (scheduler + protocol draws, byte-compatible with
+        #: pre-scenario runs), while scenarios draw from their own
+        #: derived stream.
+        self.rngs = RngStreams(seed)
+        self.rng = self.rngs.root
         self.specs_of = protocol.specs_of(network)
         self._actions = protocol.actions()
         self.metrics_tier = metrics
@@ -179,6 +204,15 @@ class Simulator:
             if state == "flat"
             else None
         )
+        self._protocol_factory = protocol_factory
+        #: audit log of out-of-band fault writes (``FaultReport``-like
+        #: objects appended by :meth:`note_fault`; the trace recorder
+        #: drains it into fault events)
+        self.fault_log: List[object] = []
+        #: live scenario runtime (None on scenario-free runs)
+        self.scenario_runtime = None
+        if scenario is not None:
+            self.install_scenario(scenario)
 
     # ------------------------------------------------------------------
     # Configuration access
@@ -209,6 +243,120 @@ class Simulator:
                 self.network, new_config, self.specs_of
             )
         self.engine.rebind_config(new_config)
+        if self.scenario_runtime is not None:
+            self.scenario_runtime.silence_cache = None
+
+    # ------------------------------------------------------------------
+    # Scenario / fault plumbing
+    # ------------------------------------------------------------------
+    def install_scenario(self, scenario) -> None:
+        """Attach (or replace) the run's scenario script.
+
+        ``scenario.bind(self)`` builds the live runtime whose
+        ``before_step``/``after_step`` hooks the step loop calls; its
+        events draw from the dedicated ``scenario`` RNG stream.
+        """
+        self.scenario_runtime = scenario.bind(self)
+
+    def note_fault(self, report) -> None:
+        """Log one out-of-band fault application for auditing.
+
+        Called by the :mod:`repro.faults` injectors with their
+        ``FaultReport``; the report lands on :attr:`fault_log` (which
+        :class:`~repro.core.trace.TraceRecorder` drains into the trace)
+        and its victim count streams into the metrics collector under
+        the ``full`` and ``aggregate`` tiers.
+        """
+        self.fault_log.append(report)
+        if self.metrics_tier != "off":
+            self.metrics.record_fault(len(getattr(report, "victims", ())))
+
+    def swap_scheduler(self, scheduler: Scheduler) -> None:
+        """Replace the daemon mid-run (a scenario event).
+
+        The incoming scheduler is reset (no pacing state may leak in)
+        and the selection-pool wiring is re-derived from its
+        ``draws_from`` declaration.
+        """
+        scheduler.reset()
+        self.scheduler = scheduler
+        self._enabled_pool = scheduler.draws_from == "enabled"
+
+    def rebind_network(self, network, rng=None) -> None:
+        """Adopt a mutated topology mid-run (scenario churn events).
+
+        Rebuilds the protocol via ``protocol_factory`` (churn changes
+        degrees, palettes, and local-identifier colorings, so the
+        protocol instance is network-derived), then migrates the run:
+
+        * surviving processes keep every variable value still inside
+          its (possibly resized) domain; integer pointer-like values
+          are clamped, anything else is resampled from the scenario
+          stream — the model of a churn event is a transient fault at
+          the affected processes;
+        * joined processes start from arbitrary (corrupted) states;
+        * communication constants are re-derived by the new protocol;
+        * the engine, context pools, round tracker, metrics keys and
+          (network-aware) scheduler are all rebound; the whole enabled
+          set is distrusted.
+        """
+        if self._protocol_factory is None:
+            raise ValueError(
+                "topology mutation requires a protocol_factory= rebuild "
+                "hook on the Simulator (ExperimentSpec.build_simulator "
+                "supplies one; imperative callers must pass their own)"
+            )
+        rng = rng if rng is not None else self.rngs.scenario
+        protocol = self._protocol_factory(network)
+        specs_of = protocol.specs_of(network)
+        old_states = self._config.as_dict()
+        states = {}
+        for p in network.processes:
+            consts = protocol.constant_values(network, p)
+            old = old_states.get(p)
+            state = {}
+            for spec in specs_of[p]:
+                if spec.kind == "const":
+                    state[spec.name] = consts[spec.name]
+                    continue
+                value = None
+                if old is not None and spec.name in old:
+                    prev = old[spec.name]
+                    if prev in spec.domain:
+                        value = prev
+                    elif isinstance(prev, int) and hasattr(spec.domain, "lo"):
+                        value = max(spec.domain.lo,
+                                    min(spec.domain.hi, prev))
+                if value is None:
+                    value = spec.domain.sample(rng)
+                state[spec.name] = value
+            states[p] = state
+        backend = (
+            Configuration if self.state_backend == "flat"
+            else LegacyConfiguration
+        )
+        config = backend(states)
+        protocol.validate_configuration(network, config)
+
+        self.protocol = protocol
+        self.network = network
+        self.specs_of = specs_of
+        self._actions = protocol.actions()
+        self._config = config
+        self._processes = tuple(network.processes)
+        self.round_tracker.rebind(self._processes)
+        self.metrics.rebind_processes(list(self._processes))
+        if self._ctx_pool is not None:
+            self._ctx_pool = StepContextPool(network, config, specs_of)
+        self.engine.rebind_network(protocol, network, config, specs_of)
+        self.scheduler.rebind_network(network)
+        if self.scenario_runtime is not None:
+            self.scenario_runtime.silence_cache = None
+
+    def report(self) -> StabilizationReport:
+        """A report for the *current* configuration (silence checked
+        now) — what a horizon-bounded scenario run returns."""
+        return self._report(silent=None)
 
     # ------------------------------------------------------------------
     # Stepping
@@ -225,19 +373,27 @@ class Simulator:
         Returns a full :class:`~repro.core.metrics.StepRecord` under
         ``metrics="full"`` and a lean
         :class:`~repro.core.metrics.LeanStepRecord` otherwise.
+
+        Scenario hook point: an installed scenario runtime sees the
+        step boundary *before* the selection (events mutate γ, the
+        topology, or the daemon, and the engine is invalidated before
+        the pool is drawn) and again after the step's accounting.
         """
+        runtime = self.scenario_runtime
+        if runtime is not None:
+            runtime.before_step(self)
         if self._enabled_pool:
             pool = self.engine.enabled_list() or self._processes
         else:
             pool = self._processes
-        selected = self.scheduler.select(pool, self.rng)
+        selected = self.scheduler.select(pool, self.rngs.scheduler)
         if not selected:
             raise ConvergenceError("scheduler selected an empty set")
 
         executions = []
         append = executions.append
         actions = self._actions
-        action_rng = self.rng if self.protocol.randomized else None
+        action_rng = self.rngs.protocol if self.protocol.randomized else None
         ctx_pool = self._ctx_pool
         if ctx_pool is not None:
             # Inlined StepContextPool.acquire / StepContext.reset: two
@@ -304,9 +460,13 @@ class Simulator:
                 closed_round=closed,
             )
             self.metrics.record(record)
+            if runtime is not None:
+                runtime.after_step(self, closed)
             return record
         if tier == "aggregate":
             self.metrics.record_lean(executions, closed)
+        if runtime is not None:
+            runtime.after_step(self, closed)
         return LeanStepRecord(index, len(selected), closed)
 
     def run_steps(self, count: int) -> None:
@@ -335,8 +495,26 @@ class Simulator:
 
         Sound for any daemon: silence (Def. 3) quantifies over every
         fair scheduling of the future, not the one this simulator uses.
+
+        On scenario runs the verdict is cached per (step, fault-count)
+        boundary — the run loop, the recovery tracker and pending
+        ``after_silence`` triggers all ask at the same boundary, and
+        the check is a full-network scan.  The cache is keyed on
+        :attr:`step_index` and ``len(fault_log)``, so every sanctioned
+        mutation path (steps, the fault injectors, churn rebinding)
+        invalidates it; out-of-band writes that bypass the injectors
+        must not be mixed with installed scenarios.
         """
-        return is_silent(self.protocol, self.network, self.config)
+        runtime = self.scenario_runtime
+        if runtime is None:
+            return is_silent(self.protocol, self.network, self.config)
+        key = (self.step_index, len(self.fault_log))
+        cached = runtime.silence_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        verdict = is_silent(self.protocol, self.network, self.config)
+        runtime.silence_cache = (key, verdict)
+        return verdict
 
     def silence_witness(self):
         """A reachable communication write proving γ is not silent

@@ -61,6 +61,56 @@ class TraceEvent:
         )
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """One out-of-band fault applied at a step boundary.
+
+    Makes faulted runs auditable: the injectors report exactly which
+    processes were hit, which variable *kinds* were corrupted, and
+    which variables were actually written (see
+    :class:`repro.faults.FaultReport`); the recorder interleaves these
+    lines into the JSONL trace (marked with ``"fault"``) just before
+    the step they preceded.  Fault-free traces are byte-identical to
+    pre-fault-event traces.
+    """
+
+    #: index of the step the fault preceded
+    step: int
+    #: injector kind ("corrupt", "reset", ...)
+    kind: str
+    #: processes actually written, as stable reprs
+    victims: Tuple[str, ...]
+    #: variable kinds actually written ("comm"/"internal")
+    kinds: Tuple[str, ...]
+    #: victim -> variable names written
+    vars_written: Dict[str, Tuple[str, ...]]
+
+    def to_json(self) -> str:
+        """One canonical JSON line for this fault (sorted keys)."""
+        return json.dumps(
+            {
+                "fault": self.kind,
+                "step": self.step,
+                "victims": list(self.victims),
+                "kinds": list(self.kinds),
+                "vars": {p: list(v) for p, v in self.vars_written.items()},
+            },
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "FaultEvent":
+        """Parse one ``"fault"``-marked JSONL line back."""
+        raw = json.loads(line)
+        return FaultEvent(
+            step=raw["step"],
+            kind=raw["fault"],
+            victims=tuple(raw["victims"]),
+            kinds=tuple(raw["kinds"]),
+            vars_written={p: tuple(v) for p, v in raw["vars"].items()},
+        )
+
+
 @dataclass
 class Trace:
     """A recorded computation prefix."""
@@ -68,6 +118,9 @@ class Trace:
     protocol: str
     seed: Optional[int]
     events: List[TraceEvent] = field(default_factory=list)
+    #: out-of-band faults applied during the recording (audit records;
+    #: empty for fault-free runs, keeping their JSONL byte-identical)
+    faults: List[FaultEvent] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -100,18 +153,38 @@ class Trace:
 
     # ------------------------------------------------------------------
     def to_jsonl(self) -> str:
-        """Serialize as JSONL: one header line, then one line per event."""
+        """Serialize as JSONL: one header line, then one line per event.
+
+        Fault audit lines (marked ``"fault"``) are interleaved just
+        before the step event they preceded; a fault-free trace emits
+        exactly the historical format.
+        """
         header = json.dumps(
             {"protocol": self.protocol, "seed": self.seed}, sort_keys=True
         )
-        return "\n".join([header] + [e.to_json() for e in self.events])
+        lines = [header]
+        pending = sorted(self.faults, key=lambda f: f.step)
+        i = 0
+        for event in self.events:
+            while i < len(pending) and pending[i].step <= event.step:
+                lines.append(pending[i].to_json())
+                i += 1
+            lines.append(event.to_json())
+        lines.extend(f.to_json() for f in pending[i:])
+        return "\n".join(lines)
 
     @staticmethod
     def from_jsonl(text: str) -> "Trace":
+        """Parse a JSONL trace (fault audit lines included)."""
         lines = [line for line in text.splitlines() if line.strip()]
         header = json.loads(lines[0])
-        events = [TraceEvent.from_json(line) for line in lines[1:]]
-        return Trace(header["protocol"], header["seed"], events)
+        events, faults = [], []
+        for line in lines[1:]:
+            if '"fault"' in line and "fault" in json.loads(line):
+                faults.append(FaultEvent.from_json(line))
+            else:
+                events.append(TraceEvent.from_json(line))
+        return Trace(header["protocol"], header["seed"], events, faults)
 
 
 class TraceRecorder:
@@ -126,18 +199,50 @@ class TraceRecorder:
             )
         self.sim = sim
         self.trace = Trace(protocol=sim.protocol.name, seed=seed)
-        self._specs_of = sim.protocol.specs_of(sim.network)
+        self._fault_cursor = len(sim.fault_log)
+
+    def _drain_faults(self) -> None:
+        """Append fault audit events for injections since the last step."""
+        log = self.sim.fault_log
+        for report in log[self._fault_cursor:]:
+            self.trace.faults.append(FaultEvent(
+                step=getattr(report, "step", self.sim.step_index),
+                kind=getattr(report, "kind", "fault"),
+                victims=tuple(sorted(
+                    repr(p) for p in getattr(report, "victims", ())
+                )),
+                kinds=tuple(getattr(report, "kinds", ())),
+                vars_written={
+                    repr(p): tuple(names)
+                    for p, names in sorted(
+                        getattr(report, "vars_written", {}).items(),
+                        key=lambda item: repr(item[0]),
+                    )
+                },
+            ))
+        self._fault_cursor = len(log)
 
     def step(self) -> TraceEvent:
-        """Execute one simulator step and append its event to the trace."""
-        before = self.sim.config.comm_projection(self._specs_of)
+        """Execute one simulator step and append its event to the trace.
+
+        Reads the variable specs live from the simulator (topology
+        churn may have replaced them) and drains any fault injections
+        that happened since the previous recorded step into the
+        trace's audit records.
+        """
+        specs_of = self.sim.specs_of
+        before = self.sim.config.comm_projection(specs_of)
         record = self.sim.step()
-        after = self.sim.config.comm_projection(self._specs_of)
+        # Scenario events fire at the step boundary inside sim.step();
+        # specs may have been replaced by churn, so re-read for "after".
+        after = self.sim.config.comm_projection(self.sim.specs_of)
+        self._drain_faults()
 
         comm_writes: Dict[str, Dict[str, Any]] = {}
         for p in record.activated:
-            if before[p] != after[p]:
-                old = dict(before[p])
+            # A process absent from "before" joined via churn this step.
+            if before.get(p, ()) != after[p]:
+                old = dict(before.get(p, ()))
                 comm_writes[repr(p)] = {
                     name: value
                     for name, value in after[p]

@@ -29,7 +29,13 @@ SchedulerFactory = Callable[[], Scheduler]
 
 @dataclass(frozen=True)
 class TrialResult:
-    """Headline numbers of one run-to-silence trial."""
+    """Headline numbers of one run-to-silence trial.
+
+    The scenario measures (faults injected, availability fraction,
+    mean recovery rounds, post-fault read-bit overhead) stay at their
+    neutral defaults on scenario-free runs, and rows written by
+    pre-scenario versions load back with those defaults.
+    """
 
     protocol: str
     scheduler: str
@@ -44,13 +50,24 @@ class TrialResult:
     total_bits: float
     legitimate: bool
     silent: bool
+    faults_injected: int = 0
+    availability: float = 1.0
+    mean_recovery_rounds: float = 0.0
+    post_fault_bits: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TrialResult":
-        return cls(**{f.name: data[f.name] for f in dataclasses.fields(cls)})
+        values = {}
+        for f in dataclasses.fields(cls):
+            if f.name in data:
+                values[f.name] = data[f.name]
+            elif f.default is dataclasses.MISSING:
+                raise KeyError(f.name)
+            # else: a pre-scenario row — keep the field's default
+        return cls(**values)
 
 
 def run_trial(

@@ -1,6 +1,7 @@
 """Transient fault injection and recovery measurement."""
 
 from .injection import (
+    FaultReport,
     adversarial_reset,
     corrupt_comm_only,
     corrupt_fraction,
@@ -16,6 +17,7 @@ from .recovery import (
 
 __all__ = [
     "AvailabilityReport",
+    "FaultReport",
     "RecoveryReport",
     "adversarial_reset",
     "availability_experiment",

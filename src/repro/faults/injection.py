@@ -14,20 +14,97 @@ fault shapes over a live :class:`~repro.core.simulator.Simulator`:
   configuration's *communication* fixed point);
 * :func:`adversarial_reset` — set every process to one fixed state
   (e.g. "everyone thinks it is a Dominator"), the worst symmetric case.
+
+Every injector returns a :class:`FaultReport` describing exactly what
+was applied — the victims actually written, the variable kinds hit,
+and the variables written per victim — and logs it on the simulator
+(:attr:`Simulator.fault_log
+<repro.core.simulator.Simulator.fault_log>`), where the trace recorder
+picks it up as an audit record.  Writes go through the configuration's
+indexed state views and always end in ``Simulator.invalidate_enabled``
+for the touched processes.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.simulator import Simulator
 
 ProcessId = Hashable
 
 
+@dataclass(frozen=True)
+class FaultReport:
+    """What one fault injection actually did.
+
+    ``victims`` lists only the processes that had at least one variable
+    written (a targeted process with no writable variable of the
+    requested kinds is *not* a victim); ``kinds`` is the union of
+    variable kinds actually written, and ``vars_written`` maps each
+    victim to the variable names that changed hands.  The report
+    behaves like a sized iterable of victims, so legacy callers that
+    did ``len(corrupt_fraction(...))`` keep working.
+    """
+
+    #: injector kind ("corrupt" | "reset")
+    kind: str
+    #: processes actually written, in application order
+    victims: Tuple[ProcessId, ...]
+    #: variable kinds actually written ("comm" / "internal")
+    kinds: Tuple[str, ...]
+    #: victim -> names of the variables written
+    vars_written: Mapping[ProcessId, Tuple[str, ...]] = field(
+        default_factory=dict
+    )
+    #: ``Simulator.step_index`` at injection time (the step boundary
+    #: the fault preceded)
+    step: int = 0
+
+    def __len__(self) -> int:
+        return len(self.victims)
+
+    def __iter__(self) -> Iterator[ProcessId]:
+        return iter(self.victims)
+
+    def __bool__(self) -> bool:
+        return bool(self.victims)
+
+
 def _writable_specs(sim: Simulator, p: ProcessId, kinds: Sequence[str]):
     return [s for s in sim.specs_of[p] if s.kind in kinds]
+
+
+def _finish(
+    sim: Simulator,
+    kind: str,
+    writes: Dict[ProcessId, Tuple[str, ...]],
+    kinds_hit: set,
+) -> FaultReport:
+    """Build the report, log it on the simulator, invalidate the engine."""
+    report = FaultReport(
+        kind=kind,
+        victims=tuple(writes),
+        kinds=tuple(sorted(kinds_hit)),
+        vars_written=dict(writes),
+        step=sim.step_index,
+    )
+    if report.victims:
+        sim.invalidate_enabled(list(report.victims))
+        sim.note_fault(report)
+    return report
 
 
 def corrupt_processes(
@@ -35,24 +112,29 @@ def corrupt_processes(
     victims: Iterable[ProcessId],
     rng: random.Random,
     kinds: Sequence[str] = ("comm", "internal"),
-) -> List[ProcessId]:
+) -> FaultReport:
     """Write arbitrary in-domain values into each victim's variables.
 
     Writes go through the configuration's per-process state view (one
     pid lookup per victim; on the flat indexed backend the view writes
     straight into the victim's row, which pooled step contexts alias —
-    no cache to refresh).
+    no cache to refresh).  Returns the :class:`FaultReport` of what was
+    actually written.
     """
-    hit = []
+    writes: Dict[ProcessId, Tuple[str, ...]] = {}
+    kinds_hit: set = set()
     for p in victims:
         state = sim.config.state_of(p)
+        written = []
         for spec in _writable_specs(sim, p, kinds):
             state[spec.name] = spec.domain.sample(rng)
-        hit.append(p)
+            written.append(spec.name)
+            kinds_hit.add(spec.kind)
+        if written:
+            writes[p] = tuple(written)
     # The writes bypassed Simulator.step, so the enabled-set engine must
     # be told which processes (and observers thereof) to re-examine.
-    sim.invalidate_enabled(hit)
-    return hit
+    return _finish(sim, "corrupt", writes, kinds_hit)
 
 
 def corrupt_fraction(
@@ -60,7 +142,7 @@ def corrupt_fraction(
     fraction: float,
     rng: random.Random,
     kinds: Sequence[str] = ("comm", "internal"),
-) -> List[ProcessId]:
+) -> FaultReport:
     """Corrupt a uniformly random ⌈fraction·n⌉ subset of processes."""
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must be within [0, 1]")
@@ -70,28 +152,33 @@ def corrupt_fraction(
     return corrupt_processes(sim, victims, rng, kinds)
 
 
-def corrupt_comm_only(sim: Simulator, victims, rng: random.Random):
+def corrupt_comm_only(sim: Simulator, victims, rng: random.Random) -> FaultReport:
     """Corrupt only neighbor-visible state (communication variables)."""
     return corrupt_processes(sim, victims, rng, kinds=("comm",))
 
 
-def corrupt_internal_only(sim: Simulator, victims, rng: random.Random):
+def corrupt_internal_only(sim: Simulator, victims, rng: random.Random) -> FaultReport:
     """Corrupt only private state (round-robin pointers etc.)."""
     return corrupt_processes(sim, victims, rng, kinds=("internal",))
 
 
 def adversarial_reset(
-    sim: Simulator, state: Dict[str, Any], victims: Optional[Iterable[ProcessId]] = None
-) -> List[ProcessId]:
+    sim: Simulator,
+    state: Dict[str, Any],
+    victims: Optional[Iterable[ProcessId]] = None,
+) -> FaultReport:
     """Force one fixed state onto every victim (default: all processes).
 
     Values are clamped per process: a variable absent from ``state`` is
-    left untouched, and out-of-domain values raise.
+    left untouched, and out-of-domain values raise.  Returns the
+    :class:`FaultReport` of what was actually written.
     """
-    hit = []
+    writes: Dict[ProcessId, Tuple[str, ...]] = {}
+    kinds_hit: set = set()
     chosen = list(victims) if victims is not None else list(sim.network.processes)
     for p in chosen:
         target = sim.config.state_of(p)
+        written = []
         for spec in _writable_specs(sim, p, ("comm", "internal")):
             if spec.name not in state:
                 continue
@@ -106,6 +193,8 @@ def adversarial_reset(
                         f"value {value!r} invalid for {spec.name}.{p!r}"
                     )
             target[spec.name] = value
-        hit.append(p)
-    sim.invalidate_enabled(hit)
-    return hit
+            written.append(spec.name)
+            kinds_hit.add(spec.kind)
+        if written:
+            writes[p] = tuple(written)
+    return _finish(sim, "reset", writes, kinds_hit)

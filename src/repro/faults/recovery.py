@@ -7,6 +7,13 @@ Quantifies what self-stabilization buys in operational terms:
 * :func:`availability_experiment` — inject faults periodically and
   measure the fraction of steps the system spent legitimate, the
   steady-state availability figure a deployment would care about.
+
+Both are thin wrappers over the scenario subsystem
+(:mod:`repro.scenarios`): the fault schedules are canned scenarios,
+the measurements are the scenario runtime's recovery/availability
+trackers, and the same numbers stream through the tiered metrics
+collector for spec-driven runs (``ExperimentSpec(scenario=...)``, the
+``availability`` CLI subcommand).
 """
 
 from __future__ import annotations
@@ -18,7 +25,10 @@ from typing import Callable, List, Optional
 from ..core.protocol import Protocol
 from ..core.scheduler import Scheduler
 from ..core.simulator import Simulator
-from .injection import corrupt_fraction
+
+# NOTE: repro.scenarios is imported lazily inside the wrappers — the
+# scenario event DSL itself builds on repro.faults.injection, so a
+# module-level import here would be circular.
 
 FaultFn = Callable[[Simulator, random.Random], object]
 
@@ -31,6 +41,8 @@ class RecoveryReport:
     disturbed: bool
     rounds_to_recover: int
     steps_to_recover: int
+    #: neighbor-read bits spent between the fault and re-silence
+    post_fault_bits: float = 0.0
 
 
 def measure_recovery(
@@ -39,18 +51,48 @@ def measure_recovery(
     rng: random.Random,
     max_rounds: int = 50_000,
 ) -> RecoveryReport:
-    """Stabilize, inject ``fault``, and time re-stabilization."""
+    """Stabilize, inject ``fault``, and time re-stabilization.
+
+    Implemented as a one-event scenario (``after_silence`` →
+    ``fault``) installed on the live simulator: the scenario runtime
+    measures the recovery cycle, so the numbers here are the same ones
+    a spec-driven ``single-fault`` scenario reports.  ``fault`` keeps
+    its historical callable signature and is handed the caller's
+    ``rng`` (not the scenario stream).
+    """
+    from ..scenarios import Callback, Scenario, ScenarioEvent, after_silence
+
+    outcome: dict = {}
+
+    def apply_fault(s: Simulator, _scenario_rng) -> None:
+        outcome["report"] = fault(s, rng)
+
+    scenario = Scenario(
+        "recovery-probe",
+        events=(ScenarioEvent(after_silence(), Callback(apply_fault)),),
+    )
+    sim.install_scenario(scenario)
+    runtime = sim.scenario_runtime
+
     sim.run_until_silent(max_rounds=max_rounds)
-    victims = fault(sim, rng)
+    # The after-silence event fires at the next round boundary; step
+    # through it (no-op steps while silent are harmless).
+    while not runtime.exhausted:
+        sim.run_rounds(1)
+    victims = outcome.get("report")
     disturbed = not sim.is_silent()
-    round_before = sim.round_tracker.completed_rounds
-    step_before = sim.step_index
-    report = sim.run_until_silent(max_rounds=max_rounds)
+    if disturbed:
+        sim.run_until_silent(max_rounds=max_rounds)
+    rounds, steps, bits = (
+        runtime.silence_recoveries[-1]
+        if runtime.silence_recoveries else (0, 0, 0.0)
+    )
     return RecoveryReport(
-        victims=len(victims) if isinstance(victims, list) else -1,
+        victims=len(victims) if hasattr(victims, "__len__") else -1,
         disturbed=disturbed,
-        rounds_to_recover=report.rounds - round_before,
-        steps_to_recover=report.steps - step_before,
+        rounds_to_recover=rounds,
+        steps_to_recover=steps,
+        post_fault_bits=bits,
     )
 
 
@@ -88,30 +130,27 @@ def availability_experiment(
 ) -> AvailabilityReport:
     """Run ``total_rounds`` with a fault every ``fault_period_rounds``.
 
-    Tracks per-step legitimacy, so the availability figure reflects both
-    how often faults strike and how quickly the protocol cleans up.
+    A thin wrapper over the canned ``periodic-faults`` scenario: the
+    scenario runtime tracks per-step legitimacy, so the availability
+    figure reflects both how often faults strike and how quickly the
+    protocol cleans up.  Spec-driven runs get the identical numbers via
+    ``ExperimentSpec(scenario="periodic-faults", ...)``.
     """
-    rng = random.Random(seed ^ 0x5EED)
-    sim = Simulator(protocol, network, scheduler=scheduler, seed=seed)
-    report = AvailabilityReport(0, 0, 0)
+    from ..scenarios.library import build_scenario
 
-    recovering_since: Optional[int] = None
-    next_fault = fault_period_rounds
-    while sim.round_tracker.completed_rounds < total_rounds:
-        record = sim.step()
-        report.total_steps += 1
-        legitimate = sim.is_legitimate()
-        if legitimate:
-            report.legitimate_steps += 1
-            if recovering_since is not None:
-                report.recoveries.append(
-                    sim.round_tracker.completed_rounds - recovering_since
-                )
-                recovering_since = None
-        if record.closed_round and sim.round_tracker.completed_rounds >= next_fault:
-            corrupt_fraction(sim, fault_fraction, rng)
-            report.faults_injected += 1
-            next_fault += fault_period_rounds
-            if not sim.is_legitimate() and recovering_since is None:
-                recovering_since = sim.round_tracker.completed_rounds
-    return report
+    scenario = build_scenario("periodic-faults", {
+        "period_rounds": fault_period_rounds,
+        "fraction": fault_fraction,
+        "total_rounds": total_rounds,
+    })
+    sim = Simulator(
+        protocol, network, scheduler=scheduler, seed=seed, scenario=scenario
+    )
+    sim.run_rounds(total_rounds)
+    runtime = sim.scenario_runtime
+    return AvailabilityReport(
+        total_steps=runtime.observed_steps,
+        legitimate_steps=runtime.legitimate_steps,
+        faults_injected=len(runtime.applied),
+        recoveries=list(runtime.legit_recoveries),
+    )

@@ -139,6 +139,93 @@ class Network:
         return Network(self._graph, merged)
 
     # ------------------------------------------------------------------
+    # Safe mutation (functional: every mutator returns a new Network)
+    # ------------------------------------------------------------------
+    def _mutated(self, mutate, ports: Dict[ProcessId, List[ProcessId]]) -> "Network":
+        """Build a mutated copy: apply ``mutate`` to a graph copy and
+        construct a new :class:`Network` with the given port lists (the
+        constructor re-validates connectivity, simplicity, non-emptiness)."""
+        graph = self._graph.copy()
+        mutate(graph)
+        return Network(graph, ports)
+
+    def with_edge_added(self, p: ProcessId, q: ProcessId) -> "Network":
+        """A copy with edge ``{p, q}`` added.
+
+        Port numbering stays stable for every untouched process; each
+        endpoint sees its new neighbor behind its highest port (the
+        least disruptive assignment for round-robin pointers).
+        """
+        if p == q:
+            raise TopologyError("self-loops are not allowed")
+        if p not in self._graph or q not in self._graph:
+            raise TopologyError(f"{p!r} or {q!r} is not a process")
+        if self._graph.has_edge(p, q):
+            raise TopologyError(f"{p!r} and {q!r} are already neighbors")
+        ports = {r: list(order) for r, order in self._ports.items()}
+        ports[p].append(q)
+        ports[q].append(p)
+        return self._mutated(lambda g: g.add_edge(p, q), ports)
+
+    def with_edge_removed(self, p: ProcessId, q: ProcessId) -> "Network":
+        """A copy with edge ``{p, q}`` removed (ports compact upward).
+
+        Raises :class:`TopologyError` when the edge does not exist or
+        its removal would disconnect the network (use
+        :func:`non_bridge_edges` to sample safely).
+        """
+        if not self._graph.has_edge(p, q):
+            raise TopologyError(f"{p!r} and {q!r} are not neighbors")
+        ports = {r: list(order) for r, order in self._ports.items()}
+        ports[p].remove(q)
+        ports[q].remove(p)
+        return self._mutated(lambda g: g.remove_edge(p, q), ports)
+
+    def with_node_added(
+        self, p: ProcessId, neighbors: Sequence[ProcessId]
+    ) -> "Network":
+        """A copy with a joining process ``p`` wired to ``neighbors``.
+
+        The newcomer needs at least one neighbor (the network must stay
+        connected); existing processes see it behind their highest port.
+        """
+        if p in self._graph:
+            raise TopologyError(f"{p!r} is already a process")
+        neighbors = list(neighbors)
+        if not neighbors:
+            raise TopologyError("a joining process needs >= 1 neighbor")
+        if len(set(neighbors)) != len(neighbors):
+            raise TopologyError("duplicate neighbors for the joining process")
+        for q in neighbors:
+            if q not in self._graph:
+                raise TopologyError(f"{q!r} is not a process")
+        ports = {r: list(order) for r, order in self._ports.items()}
+        for q in neighbors:
+            ports[q].append(p)
+        ports[p] = list(neighbors)
+        return self._mutated(
+            lambda g: g.add_edges_from((p, q) for q in neighbors), ports
+        )
+
+    def with_node_removed(self, p: ProcessId) -> "Network":
+        """A copy with process ``p`` (and its edges) removed.
+
+        Raises :class:`TopologyError` when ``p`` does not exist, is the
+        last process, or is a cut vertex (use :func:`removable_nodes`
+        to sample safely).
+        """
+        if p not in self._graph:
+            raise TopologyError(f"{p!r} is not a process")
+        if self.n == 1:
+            raise TopologyError("cannot remove the last process")
+        ports = {
+            r: [q for q in order if q != p]
+            for r, order in self._ports.items()
+            if r != p
+        }
+        return self._mutated(lambda g: g.remove_node(p), ports)
+
+    # ------------------------------------------------------------------
     # Structure helpers
     # ------------------------------------------------------------------
     def edges(self) -> List[Tuple[ProcessId, ProcessId]]:
@@ -180,6 +267,52 @@ def relabel_ports_randomly(network: Network, rng) -> Network:
         rng.shuffle(order)
         ports[p] = order
     return network.with_ports(ports)
+
+
+def non_bridge_edges(network: Network) -> List[Tuple[ProcessId, ProcessId]]:
+    """Edges whose removal keeps the network connected (non-bridges).
+
+    The safe candidate pool for edge-removal churn events, in the
+    deterministic edge-iteration order of the underlying graph.
+    """
+    bridges = set(nx.bridges(network.subgraph_view()))
+    return [
+        (p, q)
+        for p, q in network.edges()
+        if (p, q) not in bridges and (q, p) not in bridges
+    ]
+
+
+def removable_nodes(network: Network, min_n: int = 3) -> List[ProcessId]:
+    """Processes whose departure keeps the network connected.
+
+    Excludes cut vertices, and returns nothing once the network has
+    shrunk to ``min_n`` processes (the default 3 keeps every remaining
+    process a neighbor-having one, as the paper's protocols require).
+    """
+    if network.n <= min_n:
+        return []
+    cuts = set(nx.articulation_points(network.subgraph_view()))
+    return [p for p in network.processes if p not in cuts]
+
+
+def missing_edges(
+    network: Network, limit: int = 0
+) -> List[Tuple[ProcessId, ProcessId]]:
+    """Non-adjacent process pairs — the edge-add churn fallback when
+    rejection sampling finds nothing (near-complete graphs).  ``limit``
+    caps the enumeration (0 = all pairs); pairs come out in
+    deterministic process order.
+    """
+    out: List[Tuple[ProcessId, ProcessId]] = []
+    procs = network.processes
+    for i, p in enumerate(procs):
+        for q in procs[i + 1:]:
+            if not network.are_neighbors(p, q):
+                out.append((p, q))
+                if limit and len(out) >= limit:
+                    return out
+    return out
 
 
 def network_from_edges(

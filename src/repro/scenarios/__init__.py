@@ -1,0 +1,80 @@
+"""Declarative fault/churn/adversary scenarios.
+
+The scenario subsystem makes "what goes wrong during the run" a
+first-class, serializable experiment axis:
+
+* :mod:`repro.scenarios.events` — the event DSL: triggers
+  (``at_step``/``at_round``/``every_rounds``/``after_silence``/
+  ``with_probability``) × effects (corruption, adversarial resets,
+  connectivity-safe node/edge churn, mid-run scheduler swaps);
+* :mod:`repro.scenarios.scenario` — :class:`Scenario` (pure data,
+  JSON-round-trippable) and :class:`ScenarioRuntime` (the live hooks
+  the simulator's step loop calls);
+* :mod:`repro.scenarios.library` — canned scenarios behind
+  :data:`scenario_registry`, which `ExperimentSpec`, campaigns, and
+  the CLI resolve by name.
+
+Every random choice a scenario makes is drawn from the run's dedicated
+``scenario`` RNG stream, so attaching one never perturbs the
+scheduler's or the protocol's draw sequences — a no-op scenario
+reproduces a scenario-free run byte for byte.
+"""
+
+from .events import (
+    CHURN_OPERATIONS,
+    AdversarialReset,
+    AfterSilence,
+    AtRound,
+    AtStep,
+    Callback,
+    Churn,
+    CorruptFraction,
+    CorruptProcesses,
+    Effect,
+    EveryRounds,
+    SwapScheduler,
+    Trigger,
+    TriggerContext,
+    WithProbability,
+    after_silence,
+    at_round,
+    at_step,
+    effect_from_dict,
+    every_rounds,
+    trigger_from_dict,
+    with_probability,
+)
+from .library import build_scenario, register_scenario, scenario_registry
+from .scenario import AppliedEvent, Scenario, ScenarioEvent, ScenarioRuntime
+
+__all__ = [
+    "AdversarialReset",
+    "AfterSilence",
+    "AppliedEvent",
+    "AtRound",
+    "AtStep",
+    "CHURN_OPERATIONS",
+    "Callback",
+    "Churn",
+    "CorruptFraction",
+    "CorruptProcesses",
+    "Effect",
+    "EveryRounds",
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioRuntime",
+    "SwapScheduler",
+    "Trigger",
+    "TriggerContext",
+    "WithProbability",
+    "after_silence",
+    "at_round",
+    "at_step",
+    "build_scenario",
+    "effect_from_dict",
+    "every_rounds",
+    "register_scenario",
+    "scenario_registry",
+    "trigger_from_dict",
+    "with_probability",
+]
