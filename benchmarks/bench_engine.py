@@ -36,6 +36,11 @@ Run as a pytest bench::
 or as a plain script::
 
     PYTHONPATH=src python benchmarks/bench_engine.py [--tiny] [--n 10000]
+
+The script form can additionally append each emission to a results
+store's bench trajectory (``--store bench.sqlite``), which ``repro
+compare --bench`` and :func:`repro.results.diff_bench` gate for
+regressions.
 """
 
 from __future__ import annotations
@@ -410,6 +415,10 @@ def main(argv=None) -> int:
                         help="seconds of stepping per (engine, cell)")
     parser.add_argument("--no-json", action="store_true",
                         help="skip writing BENCH_3.json")
+    parser.add_argument("--store", default=None,
+                        help="also append this emission to a results "
+                             "store's bench trajectory (repro compare "
+                             "gates BENCH payloads against it)")
     args = parser.parse_args(argv)
 
     n = args.n or (TINY_N if args.tiny else FULL_N)
@@ -417,11 +426,24 @@ def main(argv=None) -> int:
     grid = measure_grid(n, budget)
     hot = measure_hot_loop(n, budget)
     scenario = measure_scenario(n, budget)
+    mode = "tiny" if args.tiny else "full"
     if not args.no_json:
-        write_bench_json("tiny" if args.tiny else "full", n, budget,
-                         grid=grid, hot_loop=hot)
-        write_bench4_json("tiny" if args.tiny else "full", n, budget,
-                          scenario)
+        write_bench_json(mode, n, budget, grid=grid, hot_loop=hot)
+        write_bench4_json(mode, n, budget, scenario)
+    if args.store:
+        from repro.results import ResultStore
+
+        with ResultStore(args.store) as store:
+            store.record_bench("BENCH_3", mode, {
+                "n": n, "budget_s": budget, "grid": grid,
+                "hot_loop": {k: round(v, 2) for k, v in hot.items()},
+            })
+            store.record_bench("BENCH_4", mode, {
+                "n": n, "budget_s": budget,
+                "churn_recovery": {k: round(v, 3)
+                                   for k, v in scenario.items()},
+            })
+        print(f"bench trajectories appended to {args.store}")
     print(f"engine grid at n={n}, {budget:.2f}s per cell:")
     for row in grid:
         print(f"  {row['topology']:8s} {row['protocol']:10s} "

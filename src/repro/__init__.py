@@ -35,6 +35,7 @@ from .api import (
     CampaignOutcome,
     ExperimentSpec,
     engine_registry,
+    iter_campaign_results,
     load_campaign_results,
     protocol_registry,
     register_engine,
@@ -45,6 +46,16 @@ from .api import (
     scenario_registry,
     scheduler_registry,
     topology_registry,
+)
+from .results import (
+    Aggregate,
+    JsonlSink,
+    ResultStore,
+    Sink,
+    SqliteSink,
+    diff_bench,
+    diff_runs,
+    summarize,
 )
 from .scenarios import Scenario
 from .core import (
@@ -110,6 +121,7 @@ from .protocols import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Aggregate",
     "BoundedFairScheduler",
     "Campaign",
     "CampaignOutcome",
@@ -124,16 +136,20 @@ __all__ = [
     "FullReadMatching",
     "GuardedAction",
     "IncrementalEngine",
+    "JsonlSink",
     "MISProtocol",
     "MatchingProtocol",
     "Network",
     "Protocol",
     "RandomSubsetScheduler",
+    "ResultStore",
     "RoundRobinScheduler",
     "ScanEngine",
     "Scenario",
     "Scheduler",
     "Simulator",
+    "Sink",
+    "SqliteSink",
     "StabilizationReport",
     "SynchronousScheduler",
     "__version__",
@@ -141,6 +157,8 @@ __all__ = [
     "chain",
     "clique",
     "coloring_predicate",
+    "diff_bench",
+    "diff_runs",
     "engine_registry",
     "figure11_graph",
     "figure9_path",
@@ -148,6 +166,7 @@ __all__ = [
     "grid",
     "hypercube",
     "is_silent",
+    "iter_campaign_results",
     "load_campaign_results",
     "make_engine",
     "make_scheduler",
@@ -172,6 +191,7 @@ __all__ = [
     "ring",
     "silence_witness",
     "star",
+    "summarize",
     "theorem1_chain",
     "theorem1_gadget",
     "theorem2_gadget",

@@ -19,6 +19,7 @@ streaming JSONL output and resume.
 from .campaign import (
     Campaign,
     CampaignOutcome,
+    iter_campaign_results,
     load_campaign_results,
 )
 from .registry import (
@@ -45,6 +46,7 @@ __all__ = [
     "drive_simulator",
     "engine_registry",
     "execute_trial",
+    "iter_campaign_results",
     "load_campaign_results",
     "protocol_registry",
     "register_engine",

@@ -194,14 +194,15 @@ class Campaign:
         workers: int = 0,
         resume: bool = True,
         progress: Optional[Callable[[ExperimentSpec, Any], None]] = None,
+        sink: Union[str, Any] = "jsonl",
+        out: Optional[Union[str, os.PathLike]] = None,
     ) -> CampaignOutcome:
         """Execute every spec; returns results aligned with the specs.
 
         Parameters
         ----------
         jsonl_path:
-            Sink file.  One ``{"key", "spec", "result"}`` JSON line is
-            appended per finished trial.  Required for resume.
+            Back-compat alias for ``out`` (the sink destination).
         workers:
             ``0``/``1`` runs serially in-process; ``>= 2`` fans out over
             a process pool of that many workers.  Results are identical
@@ -212,15 +213,36 @@ class Campaign:
         progress:
             Optional ``(spec, result)`` callback, invoked on completion
             (resumed rows included), in completion order.
+        sink:
+            Sink kind for ``out`` — ``"jsonl"`` (one JSON line per
+            trial, the historical format) or ``"sqlite"`` (a
+            :class:`~repro.results.ResultStore` run; queryable,
+            concurrent-writer safe) — or a ready-made
+            :class:`~repro.results.Sink` instance.  Resume-by-key works
+            identically across kinds.
+        out:
+            Sink destination path.  ``None`` (and no ``jsonl_path`` and
+            no sink instance) keeps results in memory only.
         """
-        from ..experiments.runner import TrialResult
+        # Function-local by design: api and results reference each
+        # other (the sink protocol lives with the warehouse), and this
+        # is the one upward edge — see docs/architecture.md.
+        from ..results.sinks import Sink, make_sink
+
+        path = out if out is not None else jsonl_path
+        if isinstance(sink, Sink):
+            sink_obj: Optional[Sink] = sink
+        elif path is None:
+            sink_obj = None
+        else:
+            # Without resume the sink is started over, not appended to —
+            # otherwise re-run rows would shadow (and double-count) old
+            # ones.
+            sink_obj = make_sink(sink, path, append=resume)
 
         completed: Dict[str, Any] = {}
-        if resume and jsonl_path is not None and os.path.exists(jsonl_path):
-            completed = {
-                key: TrialResult.from_dict(row)
-                for key, row in _read_sink(jsonl_path).items()
-            }
+        if resume and sink_obj is not None:
+            completed = sink_obj.completed()
 
         by_key: Dict[str, Any] = {}
         skipped = 0
@@ -235,9 +257,6 @@ class Campaign:
             else:
                 pending.append(spec)
 
-        # Without resume the sink is started over, not appended to —
-        # otherwise re-run rows would shadow (and double-count) old ones.
-        sink = _open_sink(jsonl_path, append=resume)
         try:
             if workers and workers >= 2 and len(pending) > 1:
                 runner = self._run_pool(pending, workers)
@@ -246,18 +265,13 @@ class Campaign:
             for spec, result in runner:
                 key = spec.key()
                 by_key[key] = result
-                if sink is not None:
-                    sink.write(json.dumps({
-                        "key": key,
-                        "spec": spec.to_dict(),
-                        "result": result.to_dict(),
-                    }, sort_keys=True) + "\n")
-                    sink.flush()
+                if sink_obj is not None:
+                    sink_obj.write(key, spec, result)
                 if progress is not None:
                     progress(spec, result)
         finally:
-            if sink is not None:
-                sink.close()
+            if sink_obj is not None:
+                sink_obj.close()
 
         return CampaignOutcome(
             specs=list(self.specs),
@@ -292,51 +306,64 @@ class Campaign:
 
 
 # ----------------------------------------------------------------------
-# JSONL sink helpers
+# JSONL sink readers (streaming)
 # ----------------------------------------------------------------------
-def _open_sink(path, append: bool = True):
-    if path is None:
-        return None
-    parent = os.path.dirname(os.fspath(path))
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    return open(path, "a" if append else "w", encoding="utf-8")
+def _iter_sink_records(path) -> Iterator[Dict[str, Any]]:
+    """Stream the well-formed ``{"key", "spec", "result"}`` records of a
+    JSONL sink, one line at a time.
+
+    The single tolerant reader shared by resume, ingest and the loaders
+    below.  A half-written trailing line (what a hard-killed campaign
+    leaves behind) is skipped instead of raising mid-file — that trial
+    simply re-runs on resume — and so are blank lines; nothing is ever
+    held beyond the current record, so sinks of any size stream in
+    constant memory.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                # Touch the fields now so malformed records are skipped
+                # here, not deep inside a consumer.
+                record["key"], record["spec"], record["result"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue
+            yield record
 
 
 def _read_sink(path) -> Dict[str, Dict[str, Any]]:
-    """Map of spec key -> result dict from a (possibly truncated) sink."""
-    rows: Dict[str, Dict[str, Any]] = {}
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-                rows[record["key"]] = record["result"]
-            except (json.JSONDecodeError, KeyError, TypeError):
-                # A trailing half-written line after a hard kill is
-                # expected; that trial simply re-runs.
-                continue
-    return rows
+    """Map of spec key -> result dict from a (possibly truncated) sink.
+
+    Duplicate keys (two append sessions racing on one file) resolve
+    last-writer-wins, matching the sqlite sink's insert-or-replace.
+    """
+    return {rec["key"]: rec["result"] for rec in _iter_sink_records(path)}
+
+
+def iter_campaign_results(path) -> Iterator[Tuple[ExperimentSpec, Any]]:
+    """Stream a sink file back as ``(spec, TrialResult)`` pairs.
+
+    A generator: rows parse one at a time in file order, so arbitrarily
+    large sinks can be folded (or ingested into a
+    :class:`~repro.results.ResultStore`) without ever materializing the
+    whole campaign in memory.
+    """
+    from ..experiments.runner import TrialResult
+
+    for record in _iter_sink_records(path):
+        try:
+            yield (
+                ExperimentSpec.from_dict(record["spec"]),
+                TrialResult.from_dict(record["result"]),
+            )
+        except (ValueError, KeyError, TypeError):
+            continue
 
 
 def load_campaign_results(path) -> List[Tuple[ExperimentSpec, Any]]:
-    """Read a sink file back as ``(spec, TrialResult)`` pairs."""
-    from ..experiments.runner import TrialResult
-
-    pairs = []
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-                pairs.append((
-                    ExperimentSpec.from_dict(record["spec"]),
-                    TrialResult.from_dict(record["result"]),
-                ))
-            except (json.JSONDecodeError, KeyError, TypeError):
-                continue
-    return pairs
+    """Read a sink file back as a list of ``(spec, TrialResult)`` pairs
+    (the eager form of :func:`iter_campaign_results`)."""
+    return list(iter_campaign_results(path))

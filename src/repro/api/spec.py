@@ -266,7 +266,6 @@ def execute_trial(protocol, network, scheduler, seed: int = 0,
                     engine=engine, metrics=metrics, scenario=scenario,
                     protocol_factory=protocol_factory)
     report = drive_simulator(sim, max_rounds=max_rounds)
-    summary = sim.metrics.summary()
     # Churn may have replaced the network mid-run; report the final one.
     network = sim.network
     return TrialResult(
@@ -278,13 +277,7 @@ def execute_trial(protocol, network, scheduler, seed: int = 0,
         seed=seed,
         steps=report.steps,
         rounds=report.rounds,
-        k_efficiency=int(summary["k_efficiency"]),
-        max_bits_per_step=summary["max_bits_per_step"],
-        total_bits=summary["total_bits"],
         legitimate=report.legitimate,
         silent=report.silent,
-        faults_injected=int(summary["faults_injected"]),
-        availability=float(summary["availability"]),
-        mean_recovery_rounds=float(summary["mean_recovery_rounds"]),
-        post_fault_bits=float(summary["post_fault_bits"]),
+        **sim.metrics.trial_measures(),
     )

@@ -14,6 +14,14 @@ Examples::
         --schedulers synchronous central locally-central \\
         --seeds 8 --workers 4 --out results.jsonl
     python -m repro campaign --from-json campaign.json --out results.jsonl
+    python -m repro campaign --protocols coloring --topologies ring:n=16 \\
+        --seeds 16 --out results.sqlite --sink sqlite
+    python -m repro ingest results.jsonl --store results.sqlite
+    python -m repro query --store results.sqlite --group-by protocol,topology \\
+        --metrics rounds,total_bits --where scheduler=synchronous
+    python -m repro report --store results.sqlite
+    python -m repro compare --store results.sqlite --runs run-a run-b
+    python -m repro compare --bench BENCH_3.baseline.json BENCH_3.json --mode full
 """
 
 from __future__ import annotations
@@ -40,9 +48,20 @@ from .api import (
     scheduler_registry,
     topology_registry,
 )
+from .api.campaign import iter_campaign_results
 from .core.metrics import METRICS_TIERS
 from .experiments import format_table
 from .graphs import Network, greedy_coloring
+from .results import (
+    DEFAULT_GROUP_BY,
+    DEFAULT_METRICS,
+    ResultStore,
+    SINK_KINDS,
+    campaign_summary_table,
+    diff_bench,
+    diff_runs_detailed,
+    query_table,
+)
 from .impossibility import (
     theorem1_gadget_demo,
     theorem1_overlay_demo,
@@ -312,7 +331,8 @@ def cmd_campaign(args) -> int:
 
     try:
         outcome = campaign.run(
-            jsonl_path=args.out,
+            out=args.out,
+            sink=args.sink,
             workers=args.workers,
             resume=not args.no_resume,
             progress=narrate,
@@ -322,27 +342,174 @@ def cmd_campaign(args) -> int:
 
     print(f"done: {outcome.executed} executed, {outcome.skipped} resumed"
           + (f" -> {args.out}" if args.out else ""))
-    rows = []
-    by_point: Dict[Tuple[str, str, str], List] = {}
-    for spec, result in outcome:
-        by_point.setdefault(
-            (spec.protocol, spec.topology, spec.scheduler), []
-        ).append(result)
-    for (proto, topo, sched), results in sorted(by_point.items()):
-        rows.append([
-            proto, topo, sched, len(results),
-            f"{sum(r.rounds for r in results) / len(results):.1f}",
-            max(r.rounds for r in results),
-            max(r.k_efficiency for r in results),
-            all(r.legitimate and r.silent for r in results),
-        ])
-    print(format_table(
-        ["protocol", "topology", "scheduler", "trials", "mean rounds",
-         "max rounds", "k-eff", "all stabilized"],
-        rows,
-        title="campaign summary",
-    ))
+    # The same renderer `repro report` applies to a stored run, so a
+    # warehouse-backed report reproduces this table exactly.
+    print(campaign_summary_table(outcome))
     return 0 if all(r.legitimate and r.silent for r in outcome.results) else 1
+
+
+# ----------------------------------------------------------------------
+# Results warehouse subcommands (ingest / query / report / compare)
+# ----------------------------------------------------------------------
+def _split_csv(text: str) -> List[str]:
+    """Parse a ``--group-by``/``--metrics`` comma list."""
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _parse_where(entries: List[str]) -> Dict[str, Any]:
+    """Parse ``--where col=value ...`` filters (values coerced)."""
+    where: Dict[str, Any] = {}
+    for entry in entries:
+        key, sep, value = entry.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad --where filter {entry!r}: "
+                             f"expected column=value")
+        where[key.strip()] = _coerce(value.strip())
+    return where
+
+
+def cmd_ingest(args) -> int:
+    """Bulk-load a campaign JSONL sink into a results store."""
+    try:
+        store = ResultStore(args.store)
+    except ValueError as exc:  # e.g. --store pointed at a JSONL file
+        raise SystemExit(str(exc))
+    with store:
+        try:
+            run_id, count = store.ingest_jsonl(
+                args.jsonl, run_id=args.run, label=args.label
+            )
+        except OSError as exc:
+            raise SystemExit(f"cannot ingest {args.jsonl!r}: {exc}")
+    print(f"ingested {count} trials from {args.jsonl} "
+          f"into run {run_id!r} of {args.store}")
+    return 0
+
+
+def _open_store(path) -> ResultStore:
+    """Open an existing store for reading (typos must not create one)."""
+    try:
+        return ResultStore(path, create=False)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_query(args) -> int:
+    """Grouped statistics (mean/median/CI95) over a stored run."""
+    group_by = _split_csv(args.group_by)
+    metrics = _split_csv(args.metrics)
+    with _open_store(args.store) as store:
+        try:
+            groups = store.query(
+                metrics=metrics,
+                where=_parse_where(args.where),
+                group_by=group_by,
+                run_id=args.run,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        if args.json:
+            print(json.dumps([
+                {"group": g.group, "count": g.count,
+                 "metrics": {m: agg.to_dict()
+                             for m, agg in g.aggregates.items()}}
+                for g in groups
+            ], indent=2, sort_keys=True))
+        else:
+            print(query_table(
+                groups, group_by, metrics,
+                title=f"query ({len(groups)} groups)",
+                markdown=args.markdown, precision=args.precision,
+            ))
+    return 0
+
+
+def cmd_report(args) -> int:
+    """The campaign summary table, from a store run or a JSONL sink."""
+    if args.jsonl:
+        try:
+            print(campaign_summary_table(iter_campaign_results(args.jsonl),
+                                         markdown=args.markdown))
+        except OSError as exc:
+            raise SystemExit(f"cannot read sink {args.jsonl!r}: {exc}")
+        return 0
+    if not args.store:
+        raise SystemExit("report needs --store (or --jsonl)")
+    with _open_store(args.store) as store:
+        if args.list_runs:
+            rows = [[r.run_id, r.label or "-", r.created_at,
+                     r.git_rev or "-", r.trials,
+                     r.wall_time_s if r.wall_time_s is not None else "-"]
+                    for r in store.runs()]
+            print(format_table(
+                ["run", "label", "created", "git", "trials", "wall s"],
+                rows, title=f"runs in {args.store}",
+                markdown=args.markdown,
+            ))
+            return 0
+        try:
+            table = campaign_summary_table(store.iter_results(args.run),
+                                           markdown=args.markdown)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print(table)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Diff two stored runs (or two BENCH_*.json files) with a
+    regression threshold gate; exits 1 when anything regressed."""
+    if bool(args.bench) == bool(args.runs):
+        raise SystemExit("compare needs exactly one of "
+                         "--runs RUN_A RUN_B (with --store) or "
+                         "--bench BASELINE CANDIDATE")
+    # Bench payloads are throughput measurements with real run-to-run
+    # noise; their default gate is looser than run means over seeds.
+    threshold = args.threshold if args.threshold is not None else (
+        0.25 if args.bench else 0.10
+    )
+    if args.bench:
+        payloads = []
+        for path in args.bench:
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    payloads.append(json.load(fh))
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"cannot read bench file {path!r}: {exc}")
+        rows = diff_bench(payloads[0], payloads[1], mode=args.mode,
+                          threshold=threshold)
+        label_a, label_b = args.bench
+    else:
+        if not args.store:
+            raise SystemExit("--runs needs --store")
+        with _open_store(args.store) as store:
+            try:
+                rows, only_a, only_b = diff_runs_detailed(
+                    store, args.runs[0], args.runs[1],
+                    metrics=_split_csv(args.metrics),
+                    group_by=_split_csv(args.group_by),
+                    threshold=threshold,
+                )
+            except ValueError as exc:
+                raise SystemExit(str(exc))
+        label_a, label_b = args.runs
+        for group in only_a:
+            print(f"  only in {label_a}: {group}")
+        for group in only_b:
+            print(f"  only in {label_b}: {group}")
+    if not rows:
+        # A gate that compared nothing validated nothing: fail loudly
+        # (disjoint group spaces, or a bench mode with no shared leaves).
+        print(f"compare {label_a} -> {label_b}: no comparable cells")
+        return 1
+    regressed = [row for row in rows if row.regressed]
+    shown = rows if args.all else regressed
+    for row in shown:
+        print("  " + row.describe())
+    print(f"compare {label_a} -> {label_b}: {len(rows)} cells, "
+          f"{len(regressed)} regressed "
+          f"(threshold {threshold:.0%})")
+    return 1 if regressed else 0
 
 
 # ----------------------------------------------------------------------
@@ -434,7 +601,14 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--max-rounds", type=int, default=50_000)
     camp.add_argument("--workers", type=int, default=0,
                       help=">=2 fans trials out over a process pool")
-    camp.add_argument("--out", default=None, help="JSONL sink path")
+    camp.add_argument("--out", default=None,
+                      help="sink path (JSONL file or sqlite store, "
+                           "per --sink)")
+    camp.add_argument("--sink", default="jsonl", choices=SINK_KINDS,
+                      help="sink format for --out: jsonl (one JSON "
+                           "line per trial) or sqlite (a queryable "
+                           "results store; see `repro query/report`). "
+                           "Resume works identically with either.")
     camp.add_argument("--no-resume", action="store_true",
                       help="re-run specs already present in --out")
     camp.add_argument("--from-json", default=None,
@@ -443,6 +617,96 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--quiet", action="store_true",
                       help="suppress per-trial lines")
     camp.set_defaults(fn=cmd_campaign)
+
+    ing = sub.add_parser(
+        "ingest",
+        help="bulk-load a campaign JSONL sink into a results store",
+        description="Streams the sink line by line (a truncated "
+                    "trailing line is tolerated) into one run of a "
+                    "SQLite results store; re-ingesting the same keys "
+                    "is last-writer-wins.",
+    )
+    ing.add_argument("jsonl", help="campaign JSONL sink to ingest")
+    ing.add_argument("--store", required=True, help="results store path")
+    ing.add_argument("--run", default=None,
+                     help="run id to ingest into (default: a fresh run)")
+    ing.add_argument("--label", default=None, help="run label")
+    ing.set_defaults(fn=cmd_ingest)
+
+    query = sub.add_parser(
+        "query",
+        help="grouped statistics (mean/median/CI95) over a results store",
+        description="Aggregates stored trials per group: "
+                    "mean, 95% confidence half-width, and median for "
+                    "each requested measure.",
+    )
+    query.add_argument("--store", required=True, help="results store path")
+    query.add_argument("--run", default=None,
+                       help="run id (default: latest; '*' = all runs)")
+    query.add_argument("--where", nargs="*", default=[], metavar="COL=VAL",
+                       help="equality filters, e.g. protocol=coloring n=8")
+    query.add_argument("--group-by", default=",".join(DEFAULT_GROUP_BY),
+                       help="comma list of axis columns")
+    query.add_argument("--metrics", default=",".join(DEFAULT_METRICS),
+                       help="comma list of measure columns")
+    query.add_argument("--precision", type=int, default=2,
+                       help="float decimal places (tiny values switch "
+                            "to scientific notation)")
+    query.add_argument("--markdown", action="store_true",
+                       help="emit a markdown table")
+    query.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead")
+    query.set_defaults(fn=cmd_query)
+
+    rep = sub.add_parser(
+        "report",
+        help="paper-style campaign summary from a stored run",
+        description="Renders the same summary table `repro campaign` "
+                    "prints, from a results store run (--store) or "
+                    "directly from a JSONL sink (--jsonl).",
+    )
+    rep.add_argument("--store", default=None, help="results store path")
+    rep.add_argument("--run", default=None,
+                     help="run id (default: latest)")
+    rep.add_argument("--jsonl", default=None,
+                     help="render straight from a JSONL sink instead")
+    rep.add_argument("--list-runs", action="store_true",
+                     help="list the store's runs and their provenance")
+    rep.add_argument("--markdown", action="store_true",
+                     help="emit a markdown table")
+    rep.set_defaults(fn=cmd_report)
+
+    comp = sub.add_parser(
+        "compare",
+        help="diff two runs (or two BENCH_*.json) with a regression gate",
+        description="Per group x metric: both means, delta, ratio, and "
+                    "a regression verdict in the metric's bad "
+                    "direction. Exits 1 when anything regressed — "
+                    "usable as a CI gate.",
+    )
+    comp.add_argument("--store", default=None, help="results store path")
+    comp.add_argument("--runs", nargs=2, metavar=("RUN_A", "RUN_B"),
+                      default=None,
+                      help="two run ids in the store to compare")
+    comp.add_argument("--bench", nargs=2, metavar=("BASELINE", "CANDIDATE"),
+                      default=None,
+                      help="two BENCH_*.json files to compare instead "
+                           "(throughput-like: lower is a regression)")
+    comp.add_argument("--mode", default=None,
+                      help="BENCH section to compare (full | tiny)")
+    comp.add_argument("--metrics", default=",".join(("rounds", "steps",
+                                                     "total_bits")),
+                      help="comma list of measures (--runs only)")
+    comp.add_argument("--group-by", default=",".join(DEFAULT_GROUP_BY),
+                      help="comma list of axis columns (--runs only)")
+    comp.add_argument("--threshold", type=float, default=None,
+                      help="regression threshold as a fraction "
+                           "(default: 0.10 for --runs, 0.25 for "
+                           "--bench — throughput noise needs slack)")
+    comp.add_argument("--all", action="store_true",
+                      help="print every compared cell, not only "
+                           "regressions")
+    comp.set_defaults(fn=cmd_compare)
 
     return parser
 

@@ -308,3 +308,23 @@ class MetricsCollector:
             "mean_recovery_rounds": self.mean_recovery_rounds,
             "post_fault_bits": self.post_fault_bits,
         }
+
+    def trial_measures(self) -> Dict[str, float]:
+        """The collector's slice of a result row, ready-typed.
+
+        The single definition of which measures a trial row carries
+        from the collector: :func:`repro.api.execute_trial` splats this
+        straight into ``TrialResult`` and the results warehouse
+        (:mod:`repro.results`) flattens the same names into its trial
+        columns, so the row schema cannot drift between the executor
+        and the store.
+        """
+        return {
+            "k_efficiency": int(self.max_reads_in_step),
+            "max_bits_per_step": self.max_bits_in_step,
+            "total_bits": self.total_bits,
+            "faults_injected": int(self.faults_injected),
+            "availability": float(self.availability),
+            "mean_recovery_rounds": float(self.mean_recovery_rounds),
+            "post_fault_bits": float(self.post_fault_bits),
+        }

@@ -2,7 +2,9 @@
 
 The benches print the same rows the paper's claims describe; keeping
 the renderer dependency-free makes the harness runnable anywhere the
-library is.
+library is.  One formatting policy (:func:`_fmt`) feeds every output
+mode — aligned monospace, GitHub markdown, CSV — so a number renders
+the same wherever it lands.
 """
 
 from __future__ import annotations
@@ -11,10 +13,25 @@ from typing import Iterable, List, Sequence
 
 
 def format_table(
-    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    markdown: bool = False,
+    precision: int = 2,
 ) -> str:
-    """Render an aligned monospace table."""
-    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    """Render an aligned monospace table (or, with ``markdown=True``,
+    a GitHub-flavored markdown table with the title as a bold lead-in).
+
+    ``precision`` sets the float decimal places; values too small for
+    that precision switch to scientific notation instead of collapsing
+    to ``0.00`` (see :func:`_fmt`).
+    """
+    if markdown:
+        table = format_markdown_table(headers, rows, precision=precision)
+        return f"**{title}**\n\n{table}" if title else table
+    str_rows: List[List[str]] = [
+        [_fmt(cell, precision) for cell in row] for row in rows
+    ]
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):
@@ -32,22 +49,32 @@ def format_table(
     return "\n".join(out)
 
 
-def _fmt(cell: object) -> str:
-    if isinstance(cell, float):
-        return f"{cell:.2f}"
+def _fmt(cell: object, precision: int = 2) -> str:
+    """One cell as text: floats at ``precision`` decimals, switching to
+    scientific notation when fixed-point would round a nonzero value to
+    all zeros (a per-step bit average of 0.0004 must not print as
+    ``0.00``); bools as yes/no."""
     if isinstance(cell, bool):
         return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell != 0.0 and abs(cell) < 0.5 * 10.0 ** -precision:
+            return f"{cell:.{precision}e}"
+        return f"{cell:.{precision}f}"
     return str(cell)
 
 
 def format_markdown_table(
-    headers: Sequence[str], rows: Iterable[Sequence[object]]
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 2,
 ) -> str:
     """GitHub-flavored markdown rendering (for EXPERIMENTS.md)."""
     out = ["| " + " | ".join(headers) + " |"]
     out.append("|" + "|".join("---" for _ in headers) + "|")
     for row in rows:
-        out.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+        out.append(
+            "| " + " | ".join(_fmt(c, precision) for c in row) + " |"
+        )
     return "\n".join(out)
 
 

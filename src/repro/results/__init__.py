@@ -1,0 +1,69 @@
+"""Results warehouse: queryable trial store, statistics, reporting.
+
+The analytics layer over campaign output.  Campaigns stream finished
+trials into a :class:`Sink` — the historical append-only JSONL file or
+a :class:`ResultStore` run (SQLite, WAL, concurrent-writer safe) — and
+the store answers the questions flat files cannot: grouped statistics
+with confidence intervals (:meth:`ResultStore.query`), paper-style
+tables (:func:`campaign_summary_table`, :func:`query_table`), and
+cross-run regression gates (:func:`diff_runs`, :func:`diff_bench`).
+
+Surface in the CLI: ``repro ingest / query / report / compare`` plus
+``repro campaign --sink sqlite``.  See ``docs/results.md``.
+"""
+
+from .diff import (
+    DiffRow,
+    diff_bench,
+    diff_runs,
+    diff_runs_detailed,
+    flatten_bench,
+    gate,
+    missing_groups,
+)
+from .report import (
+    CAMPAIGN_SUMMARY_HEADERS,
+    campaign_summary_rows,
+    campaign_summary_table,
+    query_table,
+)
+from .sinks import SINK_KINDS, JsonlSink, Sink, SqliteSink, make_sink
+from .stats import Aggregate, summarize, summarize_columns
+from .store import (
+    AXIS_COLUMNS,
+    DEFAULT_GROUP_BY,
+    DEFAULT_METRICS,
+    GroupStats,
+    MEASURE_COLUMNS,
+    ResultStore,
+    RunInfo,
+)
+
+__all__ = [
+    "AXIS_COLUMNS",
+    "Aggregate",
+    "CAMPAIGN_SUMMARY_HEADERS",
+    "DEFAULT_GROUP_BY",
+    "DEFAULT_METRICS",
+    "DiffRow",
+    "GroupStats",
+    "JsonlSink",
+    "MEASURE_COLUMNS",
+    "ResultStore",
+    "RunInfo",
+    "SINK_KINDS",
+    "Sink",
+    "SqliteSink",
+    "campaign_summary_rows",
+    "campaign_summary_table",
+    "diff_bench",
+    "diff_runs",
+    "diff_runs_detailed",
+    "flatten_bench",
+    "gate",
+    "make_sink",
+    "missing_groups",
+    "query_table",
+    "summarize",
+    "summarize_columns",
+]

@@ -1,0 +1,104 @@
+"""Paper-style tables over campaign results and warehouse queries.
+
+Two renderers:
+
+* :func:`campaign_summary_table` — the protocols × topologies ×
+  schedulers roll-up the ``repro campaign`` command has always
+  printed.  It is the *single* implementation of that table: the CLI
+  renders live outcomes through it and ``repro report`` renders stored
+  runs through it, so a stored campaign reproduces byte-identical
+  text (regression-tested).
+* :func:`query_table` — grouped statistics
+  (:class:`~repro.results.store.GroupStats`) as an aligned or markdown
+  table: one row per group, mean ± CI95 / median / min / max per
+  measure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from ..experiments.tables import format_table
+from .store import GroupStats
+
+
+def campaign_summary_rows(
+    pairs: Iterable[Tuple[Any, Any]],
+) -> List[List[Any]]:
+    """Fold ``(spec, result)`` pairs into the campaign summary rows.
+
+    One row per (protocol, topology, scheduler) point, sorted: trial
+    count, mean and max rounds, max observed k-efficiency, and whether
+    every trial stabilized.
+    """
+    by_point: Dict[Tuple[str, str, str], List[Any]] = {}
+    for spec, result in pairs:
+        by_point.setdefault(
+            (spec.protocol, spec.topology, spec.scheduler), []
+        ).append(result)
+    rows: List[List[Any]] = []
+    for (proto, topo, sched), results in sorted(by_point.items()):
+        rows.append([
+            proto, topo, sched, len(results),
+            f"{sum(r.rounds for r in results) / len(results):.1f}",
+            max(r.rounds for r in results),
+            max(r.k_efficiency for r in results),
+            all(r.legitimate and r.silent for r in results),
+        ])
+    return rows
+
+
+#: Header row of the campaign summary table.
+CAMPAIGN_SUMMARY_HEADERS = [
+    "protocol", "topology", "scheduler", "trials", "mean rounds",
+    "max rounds", "k-eff", "all stabilized",
+]
+
+
+def campaign_summary_table(
+    pairs: Iterable[Tuple[Any, Any]],
+    title: str = "campaign summary",
+    markdown: bool = False,
+) -> str:
+    """The ``repro campaign`` roll-up table for any (spec, result) source
+    — a live :class:`~repro.api.CampaignOutcome`, a streamed JSONL sink,
+    or a stored :class:`~repro.results.ResultStore` run."""
+    return format_table(
+        CAMPAIGN_SUMMARY_HEADERS,
+        campaign_summary_rows(pairs),
+        title=title,
+        markdown=markdown,
+    )
+
+
+def query_table(
+    groups: Sequence[GroupStats],
+    group_by: Sequence[str],
+    metrics: Sequence[str],
+    title: str = "",
+    markdown: bool = False,
+    precision: int = 2,
+) -> str:
+    """Render grouped statistics as a paper-style table.
+
+    Each metric contributes ``mean``, ``±95%`` (CI half-width) and
+    ``median`` columns; the group axes lead, the trial count follows.
+    """
+    headers = list(group_by) + ["trials"]
+    for metric in metrics:
+        headers += [f"{metric} mean", f"{metric} ±95%", f"{metric} median"]
+    rows: List[List[Any]] = []
+    for g in groups:
+        # A None axis value (e.g. scenario on scenario-free rows)
+        # renders as "-", not "None".
+        row: List[Any] = [
+            "-" if g.group.get(col) is None else g.group[col]
+            for col in group_by
+        ]
+        row.append(g.count)
+        for metric in metrics:
+            agg = g.aggregates[metric]
+            row += [agg.mean, agg.ci95, agg.median]
+        rows.append(row)
+    return format_table(headers, rows, title=title, markdown=markdown,
+                        precision=precision)

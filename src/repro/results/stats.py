@@ -1,0 +1,94 @@
+"""Statistics over trial measures: mean / median / CI95, stdlib only.
+
+The paper's comparative claims (read-bit overhead, stabilization
+rounds, recovery cost) are statements about *distributions* of trials,
+not single runs.  This module is the one place those distributions are
+summarized: :func:`summarize` folds a sequence of values into an
+:class:`Aggregate` (count, mean, median, stdev, min/max, and a normal
+95% confidence interval on the mean), and the query layer
+(:meth:`repro.results.ResultStore.query`) attaches one ``Aggregate``
+per requested measure to every group.
+
+Everything here is ``statistics``-module arithmetic — no numpy/scipy —
+so the warehouse runs wherever the simulator does.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence
+
+#: z quantile for a two-sided 95% interval
+#: (``statistics.NormalDist().inv_cdf(0.975)``); the normal
+#: approximation is documented behavior — campaigns aggregate dozens of
+#: seeds per group, where z and Student-t agree to two decimals.
+Z95 = statistics.NormalDist().inv_cdf(0.975)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Summary statistics of one measure over one group of trials."""
+
+    count: int
+    mean: float
+    median: float
+    stdev: float
+    minimum: float
+    maximum: float
+    #: half-width of the 95% CI on the mean (0.0 for count < 2)
+    ci95: float
+
+    @property
+    def ci95_low(self) -> float:
+        """Lower edge of the 95% confidence interval on the mean."""
+        return self.mean - self.ci95
+
+    @property
+    def ci95_high(self) -> float:
+        """Upper edge of the 95% confidence interval on the mean."""
+        return self.mean + self.ci95
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flat dict for JSON output (``repro query --json``)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "max": self.maximum,
+            "ci95": self.ci95,
+        }
+
+
+def summarize(values: Iterable[float]) -> Aggregate:
+    """Fold a sequence of numeric values into an :class:`Aggregate`.
+
+    Raises ``ValueError`` on an empty sequence — an empty group is a
+    query-layer bug, not a statistics question.
+    """
+    vals: Sequence[float] = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot summarize an empty sequence")
+    n = len(vals)
+    mean = statistics.fmean(vals)
+    stdev = statistics.stdev(vals) if n > 1 else 0.0
+    ci95 = Z95 * stdev / math.sqrt(n) if n > 1 else 0.0
+    return Aggregate(
+        count=n,
+        mean=mean,
+        median=statistics.median(vals),
+        stdev=stdev,
+        minimum=min(vals),
+        maximum=max(vals),
+        ci95=ci95,
+    )
+
+
+def summarize_columns(
+    columns: Mapping[str, Sequence[float]],
+) -> Dict[str, Aggregate]:
+    """Summarize several measure columns at once (one group's worth)."""
+    return {name: summarize(vals) for name, vals in columns.items()}

@@ -1,0 +1,784 @@
+"""Tests for the results warehouse: store, sinks, stats, report, diff.
+
+Covers the acceptance contracts of the subsystem:
+
+* ``repro report`` on a stored campaign reproduces the exact table
+  text of rendering the in-memory outcome directly;
+* a 50k-row JSONL sink ingests and aggregates through SQLite in
+  bounded memory (streamed batches, group-at-a-time query folding);
+* jsonl and sqlite sinks are interchangeable: same results, same
+  resume behavior, same duplicate-key semantics;
+* cross-run diff and BENCH payload gates flag regressions in the
+  right direction only.
+"""
+
+import json
+import math
+import sqlite3
+import statistics
+import tracemalloc
+import types
+
+import pytest
+
+from repro.api import Campaign, ExperimentSpec, iter_campaign_results, \
+    load_campaign_results
+from repro.api.campaign import _read_sink
+from repro.cli import main
+from repro.experiments import TrialResult
+from repro.experiments.tables import _fmt, format_table
+from repro.results import (
+    Aggregate,
+    JsonlSink,
+    ResultStore,
+    SqliteSink,
+    campaign_summary_table,
+    diff_bench,
+    diff_runs,
+    flatten_bench,
+    gate,
+    make_sink,
+    missing_groups,
+    query_table,
+    summarize,
+)
+
+GRID = dict(
+    protocols=["coloring", "mis"],
+    topologies=[("ring", {"n": 8})],
+    schedulers=["synchronous"],
+    seeds=range(3),
+)
+
+
+@pytest.fixture
+def campaign():
+    return Campaign.grid(**GRID)
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+class TestStats:
+    def test_summarize_matches_statistics_module(self):
+        values = [3.0, 5.0, 7.0, 11.0]
+        agg = summarize(values)
+        assert agg.count == 4
+        assert agg.mean == pytest.approx(statistics.fmean(values))
+        assert agg.median == pytest.approx(statistics.median(values))
+        assert agg.stdev == pytest.approx(statistics.stdev(values))
+        assert (agg.minimum, agg.maximum) == (3.0, 11.0)
+        expected_half = 1.959963984540054 * agg.stdev / math.sqrt(4)
+        assert agg.ci95 == pytest.approx(expected_half, rel=1e-9)
+        assert agg.ci95_low == pytest.approx(agg.mean - agg.ci95)
+        assert agg.ci95_high == pytest.approx(agg.mean + agg.ci95)
+
+    def test_single_value_has_degenerate_interval(self):
+        agg = summarize([42])
+        assert agg.count == 1 and agg.stdev == 0.0 and agg.ci95 == 0.0
+        assert agg.mean == agg.median == 42.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_to_dict_round_trips_fields(self):
+        d = summarize([1.0, 2.0]).to_dict()
+        assert set(d) == {"count", "mean", "median", "stdev", "min", "max",
+                          "ci95"}
+
+
+# ----------------------------------------------------------------------
+# Table formatting (the _fmt satellite)
+# ----------------------------------------------------------------------
+class TestTableFormatting:
+    def test_tiny_floats_go_scientific_not_zero(self):
+        assert _fmt(0.0004) == "4.00e-04"
+        assert _fmt(-0.0004) == "-4.00e-04"
+        assert "0.00" != _fmt(0.0004)
+
+    def test_zero_and_normal_floats_stay_fixed_point(self):
+        assert _fmt(0.0) == "0.00"
+        assert _fmt(2.5) == "2.50"
+        assert _fmt(0.01) == "0.01"
+
+    def test_precision_parameter(self):
+        assert _fmt(0.0004, precision=4) == "0.0004"
+        assert _fmt(3.14159, precision=4) == "3.1416"
+
+    def test_bool_before_float(self):
+        assert _fmt(True) == "yes" and _fmt(False) == "no"
+
+    def test_format_table_markdown_mode(self):
+        out = format_table(["a", "b"], [[1, 0.0004]], title="T",
+                           markdown=True)
+        lines = out.splitlines()
+        assert lines[0] == "**T**"
+        assert lines[2].startswith("| a | b |")
+        assert "4.00e-04" in lines[4]
+
+    def test_format_table_markdown_without_title(self):
+        out = format_table(["a"], [[1]], markdown=True)
+        assert out.splitlines()[0] == "| a |"
+
+
+# ----------------------------------------------------------------------
+# Streaming sink readers (the iterator satellite)
+# ----------------------------------------------------------------------
+class TestStreamingReaders:
+    def test_iter_campaign_results_is_lazy(self, tmp_path, campaign):
+        sink = tmp_path / "r.jsonl"
+        campaign.run(jsonl_path=sink)
+        it = iter_campaign_results(sink)
+        assert isinstance(it, types.GeneratorType)
+        spec, result = next(it)
+        assert isinstance(spec, ExperimentSpec)
+        assert isinstance(result, TrialResult)
+        assert list(it)  # the rest still streams out
+
+    def test_iter_matches_load(self, tmp_path, campaign):
+        sink = tmp_path / "r.jsonl"
+        campaign.run(jsonl_path=sink)
+        assert list(iter_campaign_results(sink)) == \
+            load_campaign_results(sink)
+
+    def test_truncated_trailing_line_skipped_everywhere(self, tmp_path,
+                                                        campaign):
+        sink = tmp_path / "r.jsonl"
+        campaign.run(jsonl_path=sink)
+        lines = sink.read_text().splitlines()
+        sink.write_text("\n".join(lines[:-1]) + "\n"
+                        + lines[-1][: len(lines[-1]) // 2])
+        assert len(load_campaign_results(sink)) == len(campaign) - 1
+        assert len(_read_sink(sink)) == len(campaign) - 1
+        # Resume re-runs exactly the truncated trial.
+        outcome = campaign.run(jsonl_path=sink)
+        assert outcome.skipped == len(campaign) - 1
+        assert outcome.executed == 1
+
+    def test_duplicate_keys_last_writer_wins(self, tmp_path, campaign):
+        sink = tmp_path / "r.jsonl"
+        campaign.run(jsonl_path=sink)
+        # A second append session re-writes the first key with doctored
+        # rounds (simulating two writers racing on one file).
+        first = json.loads(sink.read_text().splitlines()[0])
+        doctored = dict(first)
+        doctored["result"] = dict(first["result"], rounds=999)
+        with open(sink, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(doctored, sort_keys=True) + "\n")
+        rows = _read_sink(sink)
+        assert rows[first["key"]]["rounds"] == 999
+        # The duplicate still counts once for resume.
+        outcome = campaign.run(jsonl_path=sink)
+        assert outcome.skipped == len(campaign)
+
+
+# ----------------------------------------------------------------------
+# ResultStore
+# ----------------------------------------------------------------------
+class TestResultStore:
+    def test_wal_mode_and_schema(self, tmp_path):
+        store = ResultStore(tmp_path / "w.sqlite")
+        mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        tables = {row[0] for row in store._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table'")}
+        assert {"runs", "trials", "bench"} <= tables
+        store.close()
+
+    def test_run_metadata_recorded(self, tmp_path):
+        with ResultStore(tmp_path / "w.sqlite") as store:
+            run_id = store.begin_run(label="meta-test")
+            store.finish_run(run_id, 1.25)
+            (info,) = store.runs()
+            assert info.run_id == run_id
+            assert info.label == "meta-test"
+            assert info.wall_time_s == pytest.approx(1.25)
+            assert info.created_at  # ISO stamp
+            assert info.python and info.host  # provenance captured
+            assert info.trials == 0
+
+    def test_write_and_iter_results_round_trip(self, tmp_path, campaign):
+        outcome = campaign.run()
+        with ResultStore(tmp_path / "w.sqlite") as store:
+            run_id = store.begin_run(run_id="rt")
+            for spec, result in outcome:
+                store.write(run_id, spec.key(), spec.to_dict(),
+                            result.to_dict())
+            pairs = list(store.iter_results("rt"))
+        assert pairs == list(outcome)
+
+    def test_ingest_jsonl_round_trip(self, tmp_path, campaign):
+        sink = tmp_path / "r.jsonl"
+        outcome = campaign.run(jsonl_path=sink)
+        with ResultStore(tmp_path / "w.sqlite") as store:
+            run_id, count = store.ingest_jsonl(sink)
+            assert count == len(campaign)
+            assert store.trial_count(run_id) == len(campaign)
+            assert [r for _s, r in store.iter_results(run_id)] == \
+                outcome.results
+            assert store.completed_keys(run_id) == \
+                {s.key() for s in campaign}
+
+    def test_ingest_tolerates_truncated_trailing_line(self, tmp_path,
+                                                      campaign):
+        sink = tmp_path / "r.jsonl"
+        campaign.run(jsonl_path=sink)
+        text = sink.read_text()
+        sink.write_text(text + '{"key": "half-written...')
+        with ResultStore(tmp_path / "w.sqlite") as store:
+            _run, count = store.ingest_jsonl(sink)
+            assert count == len(campaign)
+
+    def test_duplicate_key_ingest_is_last_writer_wins(self, tmp_path,
+                                                      campaign):
+        sink = tmp_path / "r.jsonl"
+        campaign.run(jsonl_path=sink)
+        first = json.loads(sink.read_text().splitlines()[0])
+        doctored = dict(first)
+        doctored["result"] = dict(first["result"], rounds=999)
+        with open(sink, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(doctored, sort_keys=True) + "\n")
+        with ResultStore(tmp_path / "w.sqlite") as store:
+            run_id, count = store.ingest_jsonl(sink)
+            # write_many counts every applied write; the table holds
+            # one row per key.
+            assert count == len(campaign) + 1
+            assert store.trial_count(run_id) == len(campaign)
+            winner = dict(store.completed(run_id))[first["key"]]
+            assert winner.rounds == 999
+
+    def test_latest_run_and_resolution(self, tmp_path):
+        with ResultStore(tmp_path / "w.sqlite") as store:
+            assert store.latest_run_id() is None
+            with pytest.raises(ValueError, match="no runs"):
+                store.trial_count()
+            store.begin_run(run_id="a")
+            store.begin_run(run_id="b")
+            assert store.latest_run_id() == "b"
+
+    def test_latest_run_is_insertion_ordered_not_id_ordered(self, tmp_path):
+        # Back-to-back runs share a 1-second created_at stamp; the
+        # latest must be the last *inserted*, not the max id string.
+        with ResultStore(tmp_path / "w.sqlite") as store:
+            store.begin_run(run_id="zzz-first")
+            store.begin_run(run_id="aaa-second")
+            assert store.latest_run_id() == "aaa-second"
+            assert [r.run_id for r in store.runs()] == \
+                ["zzz-first", "aaa-second"]
+
+    def test_missing_store_rejected_without_create(self, tmp_path):
+        missing = tmp_path / "nope.sqlite"
+        with pytest.raises(ValueError, match="does not exist"):
+            ResultStore(missing, create=False)
+        assert not missing.exists()
+
+    def test_unknown_diff_run_ids_raise(self, tmp_path, campaign):
+        path = tmp_path / "w.sqlite"
+        campaign.run(out=path, sink="sqlite")
+        with ResultStore(path) as store:
+            with pytest.raises(ValueError, match="unknown run"):
+                diff_runs(store, "campaign", "typo")
+            with pytest.raises(ValueError, match="unknown run"):
+                missing_groups(store, "typo", "campaign")
+
+    def test_empty_metrics_rejected(self, tmp_path, campaign):
+        path = tmp_path / "w.sqlite"
+        campaign.run(out=path, sink="sqlite")
+        with ResultStore(path) as store:
+            with pytest.raises(ValueError, match="at least one metric"):
+                store.query(metrics=())
+
+    def test_explicit_unknown_run_id_raises(self, tmp_path, campaign):
+        path = tmp_path / "w.sqlite"
+        campaign.run(out=path, sink="sqlite")
+        with ResultStore(path) as store:
+            with pytest.raises(ValueError, match="unknown run id"):
+                list(store.iter_results("typo"))
+            with pytest.raises(ValueError, match="unknown run id"):
+                store.query(metrics=("rounds",), run_id="typo")
+            with pytest.raises(ValueError, match="unknown run id"):
+                store.trial_count("typo")
+
+    def test_non_sqlite_file_is_a_clean_error(self, tmp_path):
+        not_a_db = tmp_path / "results.jsonl"
+        not_a_db.write_text('{"key": "k", "spec": {}, "result": {}}\n'
+                            * 100)
+        with pytest.raises(ValueError, match="not a results store"):
+            ResultStore(not_a_db)
+
+    def test_concurrent_connections_can_read_mid_write(self, tmp_path,
+                                                       campaign):
+        # WAL: a second connection reads committed rows while the first
+        # stays open for writing.
+        path = tmp_path / "w.sqlite"
+        writer = ResultStore(path)
+        run_id = writer.begin_run(run_id="war")
+        outcome = campaign.run()
+        pairs = list(outcome)
+        spec, result = pairs[0]
+        writer.write(run_id, spec.key(), spec.to_dict(), result.to_dict())
+        with ResultStore(path) as reader:
+            assert reader.trial_count("war") == 1
+        writer.close()
+
+
+class TestQuery:
+    @pytest.fixture
+    def store(self, tmp_path, campaign):
+        sink = tmp_path / "r.jsonl"
+        self.outcome = campaign.run(jsonl_path=sink)
+        store = ResultStore(tmp_path / "w.sqlite")
+        self.run_id, _ = store.ingest_jsonl(sink, run_id="q")
+        yield store
+        store.close()
+
+    def test_group_aggregates_match_manual_fold(self, store, campaign):
+        groups = store.query(metrics=("rounds", "total_bits"),
+                             group_by=("protocol",), run_id="q")
+        by_proto = {}
+        for spec, result in self.outcome:
+            by_proto.setdefault(spec.protocol, []).append(result)
+        assert {g.group["protocol"] for g in groups} == set(by_proto)
+        for g in groups:
+            expected = [r.rounds for r in by_proto[g.group["protocol"]]]
+            assert g.count == len(expected)
+            assert g.aggregates["rounds"].mean == \
+                pytest.approx(statistics.fmean(expected))
+            assert g.aggregates["rounds"].median == \
+                pytest.approx(statistics.median(expected))
+
+    def test_where_filters(self, store):
+        groups = store.query(metrics=("rounds",), group_by=("protocol",),
+                             where={"protocol": "mis"}, run_id="q")
+        assert [g.group["protocol"] for g in groups] == ["mis"]
+        none = store.query(metrics=("rounds",), group_by=("protocol",),
+                           where={"seed": 99}, run_id="q")
+        assert none == []
+
+    def test_where_in_list(self, store):
+        groups = store.query(metrics=("rounds",), group_by=("seed",),
+                             where={"seed": [0, 2]}, run_id="q")
+        assert [g.group["seed"] for g in groups] == [0, 2]
+
+    def test_empty_group_by_is_one_global_group(self, store, campaign):
+        (g,) = store.query(metrics=("rounds",), group_by=(), run_id="q")
+        assert g.count == len(campaign)
+
+    def test_unknown_columns_rejected(self, store):
+        with pytest.raises(ValueError, match="cannot group by"):
+            store.query(group_by=("color",), run_id="q")
+        with pytest.raises(ValueError, match="unknown metric"):
+            store.query(metrics=("speed",), run_id="q")
+        with pytest.raises(ValueError, match="unknown where column"):
+            store.query(where={"DROP TABLE": 1}, run_id="q")
+
+    def test_query_table_renders_groups(self, store):
+        groups = store.query(metrics=("rounds",), group_by=("protocol",),
+                             run_id="q")
+        out = query_table(groups, ("protocol",), ("rounds",), title="Q")
+        assert out.splitlines()[0] == "Q"
+        assert "rounds mean" in out and "coloring" in out
+
+
+class TestLargeIngestStreams:
+    @staticmethod
+    def _write_big_sink(path, n_rows):
+        """Synthesize an n_rows sink without running n_rows trials."""
+        base_spec = ExperimentSpec(protocol="coloring", topology="ring",
+                                   topology_params={"n": 8})
+        spec_dict = base_spec.to_dict()
+        result_dict = TrialResult(
+            protocol="COLORING", scheduler="synchronous", n=8, m=8,
+            delta=2, seed=0, steps=5, rounds=5, k_efficiency=1,
+            max_bits_per_step=2.0, total_bits=60.0, legitimate=True,
+            silent=True,
+        ).to_dict()
+        with open(path, "w", encoding="utf-8") as fh:
+            for i in range(n_rows):
+                spec_dict["seed"] = i
+                result_dict["seed"] = i
+                result_dict["rounds"] = i % 17
+                fh.write(json.dumps({
+                    "key": f"coloring/ring/synchronous/s{i}/{i:012x}",
+                    "spec": spec_dict,
+                    "result": result_dict,
+                }) + "\n")
+
+    def test_50k_rows_ingest_and_aggregate(self, tmp_path):
+        """The acceptance scale: 50k rows in, exact aggregates out."""
+        n_rows = 50_000
+        sink = tmp_path / "big.jsonl"
+        self._write_big_sink(sink, n_rows)
+        assert sink.stat().st_size > 10 * 1024 * 1024  # a real file
+
+        with ResultStore(tmp_path / "big.sqlite") as store:
+            _run, count = store.ingest_jsonl(sink, run_id="big")
+            groups = store.query(metrics=("rounds",),
+                                 group_by=("protocol",), run_id="big")
+        assert count == n_rows
+        (g,) = groups
+        assert g.count == n_rows
+        assert g.aggregates["rounds"].mean == pytest.approx(
+            statistics.fmean(i % 17 for i in range(n_rows)))
+
+    def test_ingest_and_query_memory_is_bounded(self, tmp_path):
+        """Peak traced memory stays below the sink's own size.
+
+        Ingest holds one 1000-row batch; the query folds one group's
+        metric column.  Materializing every parsed record at once
+        would cost several times the file size (dict overhead), so
+        ``peak < file_bytes`` separates streaming from slurping.
+        Traced at 10k rows — tracemalloc multiplies runtime, and the
+        per-row bound is scale-independent; the 50k acceptance run
+        above exercises the full volume untraced.
+        """
+        n_rows = 10_000
+        sink = tmp_path / "big.jsonl"
+        self._write_big_sink(sink, n_rows)
+        file_bytes = sink.stat().st_size
+
+        store = ResultStore(tmp_path / "big.sqlite")
+        tracemalloc.start()
+        _run, count = store.ingest_jsonl(sink, run_id="big")
+        groups = store.query(metrics=("rounds",), group_by=("protocol",),
+                             run_id="big")
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        store.close()
+
+        assert count == n_rows and groups[0].count == n_rows
+        assert peak < file_bytes, (
+            f"ingest+query peaked at {peak/1e6:.1f}MB for a "
+            f"{file_bytes/1e6:.1f}MB sink — not streaming")
+
+
+# ----------------------------------------------------------------------
+# Sinks: jsonl ≡ sqlite
+# ----------------------------------------------------------------------
+class TestSinkParity:
+    def test_results_identical_across_sinks(self, tmp_path, campaign):
+        jsonl = campaign.run(out=tmp_path / "r.jsonl", sink="jsonl")
+        sqlite_ = campaign.run(out=tmp_path / "r.sqlite", sink="sqlite")
+        memory = campaign.run()
+        assert jsonl.results == sqlite_.results == memory.results
+
+    def test_resume_parity(self, tmp_path, campaign):
+        half = Campaign(campaign.specs[: len(campaign) // 2])
+        for kind, path in (("jsonl", tmp_path / "r.jsonl"),
+                           ("sqlite", tmp_path / "r.sqlite")):
+            half.run(out=path, sink=kind)
+            resumed = campaign.run(out=path, sink=kind)
+            assert resumed.skipped == len(half), kind
+            assert resumed.executed == len(campaign) - len(half), kind
+            assert resumed.results == campaign.run().results, kind
+
+    def test_no_resume_starts_sqlite_run_over(self, tmp_path, campaign):
+        path = tmp_path / "r.sqlite"
+        campaign.run(out=path, sink="sqlite")
+        outcome = campaign.run(out=path, sink="sqlite", resume=False)
+        assert outcome.executed == len(campaign)
+        with ResultStore(path) as store:
+            assert store.trial_count("campaign") == len(campaign)
+
+    def test_sqlite_sink_reruns_overwrite_by_key(self, tmp_path, campaign):
+        path = tmp_path / "r.sqlite"
+        campaign.run(out=path, sink="sqlite")
+        campaign.run(out=path, sink="sqlite", resume=False)
+        with ResultStore(path) as store:
+            # Two append sessions, one row per key — INSERT OR REPLACE.
+            assert store.trial_count("campaign") == len(campaign)
+
+    def test_sink_instance_passthrough(self, tmp_path, campaign):
+        sink = SqliteSink(tmp_path / "r.sqlite", run_id="custom")
+        campaign.run(sink=sink)
+        with ResultStore(tmp_path / "r.sqlite") as store:
+            assert store.trial_count("custom") == len(campaign)
+
+    def test_make_sink_resolves_kinds(self, tmp_path):
+        assert isinstance(make_sink("jsonl", tmp_path / "a.jsonl"),
+                          JsonlSink)
+        assert isinstance(make_sink("sqlite", tmp_path / "a.sqlite"),
+                          SqliteSink)
+        with pytest.raises(ValueError, match="unknown sink kind"):
+            make_sink("parquet", tmp_path / "a.parquet")
+
+    def test_sqlite_sink_records_wall_time(self, tmp_path, campaign):
+        campaign.run(out=tmp_path / "r.sqlite", sink="sqlite")
+        with ResultStore(tmp_path / "r.sqlite") as store:
+            (info,) = store.runs()
+            assert info.wall_time_s is not None and info.wall_time_s > 0
+
+
+# ----------------------------------------------------------------------
+# Report: stored run reproduces the live table (acceptance)
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_stored_report_equals_in_memory_table(self, tmp_path, campaign,
+                                                  capsys):
+        path = tmp_path / "r.sqlite"
+        outcome = campaign.run(out=path, sink="sqlite")
+        expected = campaign_summary_table(outcome)
+        assert main(["report", "--store", str(path)]) == 0
+        printed = capsys.readouterr().out
+        assert expected in printed
+        # And the jsonl route renders the same text.
+        jsonl = tmp_path / "r.jsonl"
+        campaign.run(out=jsonl, sink="jsonl")
+        assert main(["report", "--jsonl", str(jsonl)]) == 0
+        assert expected in capsys.readouterr().out
+
+    def test_campaign_cli_and_report_cli_print_same_table(self, tmp_path,
+                                                          capsys):
+        path = tmp_path / "r.sqlite"
+        assert main(["campaign", "--protocols", "coloring",
+                     "--topologies", "ring:n=8", "--seeds", "2",
+                     "--out", str(path), "--sink", "sqlite",
+                     "--quiet"]) == 0
+        campaign_out = capsys.readouterr().out
+        table = campaign_out[campaign_out.index("campaign summary"):]
+        assert main(["report", "--store", str(path)]) == 0
+        assert capsys.readouterr().out.strip() == table.strip()
+
+    def test_report_list_runs(self, tmp_path, campaign, capsys):
+        path = tmp_path / "r.sqlite"
+        campaign.run(out=path, sink="sqlite")
+        assert main(["report", "--store", str(path), "--list-runs"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out and "trials" in out
+
+    def test_report_without_source_fails(self):
+        with pytest.raises(SystemExit, match="--store"):
+            main(["report"])
+
+
+# ----------------------------------------------------------------------
+# Ingest + query through the CLI
+# ----------------------------------------------------------------------
+class TestWarehouseCli:
+    def test_ingest_then_query(self, tmp_path, campaign, capsys):
+        jsonl = tmp_path / "r.jsonl"
+        store = tmp_path / "w.sqlite"
+        campaign.run(jsonl_path=jsonl)
+        assert main(["ingest", str(jsonl), "--store", str(store),
+                     "--run", "r1"]) == 0
+        assert f"ingested {len(campaign)} trials" in capsys.readouterr().out
+        assert main(["query", "--store", str(store), "--run", "r1",
+                     "--group-by", "protocol",
+                     "--metrics", "rounds,total_bits"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds mean" in out and "coloring" in out and "mis" in out
+
+    def test_query_json_mode(self, tmp_path, campaign, capsys):
+        store = tmp_path / "w.sqlite"
+        campaign.run(out=store, sink="sqlite")
+        assert main(["query", "--store", str(store), "--group-by",
+                     "protocol", "--metrics", "rounds", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {g["group"]["protocol"] for g in payload} == \
+            {"coloring", "mis"}
+        assert all("ci95" in g["metrics"]["rounds"] for g in payload)
+
+    def test_query_where_filter(self, tmp_path, campaign, capsys):
+        store = tmp_path / "w.sqlite"
+        campaign.run(out=store, sink="sqlite")
+        assert main(["query", "--store", str(store), "--group-by",
+                     "protocol", "--metrics", "rounds",
+                     "--where", "protocol=mis"]) == 0
+        out = capsys.readouterr().out
+        assert "mis" in out and "coloring" not in out
+
+    def test_bad_where_is_a_clean_error(self, tmp_path, campaign):
+        store = tmp_path / "w.sqlite"
+        campaign.run(out=store, sink="sqlite")
+        with pytest.raises(SystemExit, match="bad --where"):
+            main(["query", "--store", str(store), "--where", "protocol"])
+
+    def test_compare_runs_detects_doctored_regression(self, tmp_path,
+                                                      campaign, capsys):
+        store_path = tmp_path / "w.sqlite"
+        campaign.run(out=store_path, sink="sqlite")
+        with ResultStore(store_path) as store:
+            store.begin_run(run_id="worse")
+            for spec, result in campaign.run():
+                doctored = result.to_dict()
+                doctored["rounds"] = doctored["rounds"] * 10 + 50
+                store.write("worse", spec.key(), spec.to_dict(), doctored)
+        assert main(["compare", "--store", str(store_path),
+                     "--runs", "campaign", "worse",
+                     "--metrics", "rounds"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        # Identical runs pass the gate.
+        assert main(["compare", "--store", str(store_path),
+                     "--runs", "campaign", "campaign",
+                     "--metrics", "rounds"]) == 0
+
+    def test_compare_bench_files(self, tmp_path, capsys):
+        a = {"full": {"n": 100, "budget_s": 1.0,
+                      "hot_loop": {"baseline": 10.0, "flat_aggregate": 40.0,
+                                   "speedup_aggregate": 4.0}}}
+        b = json.loads(json.dumps(a))
+        b["full"]["hot_loop"]["flat_aggregate"] = 10.0
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        pa.write_text(json.dumps(a))
+        pb.write_text(json.dumps(b))
+        assert main(["compare", "--bench", str(pa), str(pb),
+                     "--mode", "full", "--threshold", "0.25"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        assert main(["compare", "--bench", str(pa), str(pa),
+                     "--mode", "full"]) == 0
+
+    def test_compare_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["compare"])
+
+    def test_typoed_run_id_fails_the_gate_loudly(self, tmp_path, campaign):
+        store = tmp_path / "w.sqlite"
+        campaign.run(out=store, sink="sqlite")
+        with pytest.raises(SystemExit, match="unknown run"):
+            main(["compare", "--store", str(store),
+                  "--runs", "campaing", "campaign"])
+
+    def test_read_commands_do_not_create_stores(self, tmp_path):
+        missing = tmp_path / "typo.sqlite"
+        for argv in (["report", "--store", str(missing)],
+                     ["query", "--store", str(missing)],
+                     ["compare", "--store", str(missing),
+                      "--runs", "a", "b"]):
+            with pytest.raises(SystemExit, match="does not exist"):
+                main(argv)
+            assert not missing.exists()
+
+    def test_empty_metrics_is_a_clean_error(self, tmp_path, campaign):
+        store = tmp_path / "w.sqlite"
+        campaign.run(out=store, sink="sqlite")
+        with pytest.raises(SystemExit, match="at least one metric"):
+            main(["query", "--store", str(store), "--metrics", ""])
+
+    def test_report_jsonl_missing_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read sink"):
+            main(["report", "--jsonl", str(tmp_path / "missing.jsonl")])
+
+    def test_report_and_query_reject_typoed_run_id(self, tmp_path,
+                                                   campaign):
+        store = tmp_path / "w.sqlite"
+        campaign.run(out=store, sink="sqlite")
+        with pytest.raises(SystemExit, match="unknown run id"):
+            main(["report", "--store", str(store), "--run", "typo"])
+        with pytest.raises(SystemExit, match="unknown run id"):
+            main(["query", "--store", str(store), "--run", "typo"])
+
+    def test_store_pointed_at_jsonl_is_a_clean_error(self, tmp_path,
+                                                     campaign):
+        jsonl = tmp_path / "r.jsonl"
+        campaign.run(jsonl_path=jsonl)
+        with pytest.raises(SystemExit, match="not a results store"):
+            main(["report", "--store", str(jsonl)])
+
+    def test_bench_threshold_defaults_looser_than_runs(self, tmp_path,
+                                                       capsys):
+        # A 20% throughput drop: inside the 25% bench default, outside
+        # an (incorrectly shared) 10% one.
+        a = {"full": {"hot_loop": {"flat_aggregate": 100.0}}}
+        b = {"full": {"hot_loop": {"flat_aggregate": 80.0}}}
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        pa.write_text(json.dumps(a))
+        pb.write_text(json.dumps(b))
+        assert main(["compare", "--bench", str(pa), str(pb),
+                     "--mode", "full"]) == 0
+        capsys.readouterr()
+
+    def test_compare_with_nothing_comparable_fails(self, tmp_path, capsys):
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        pa.write_text(json.dumps({"full": {"x": 1.0}}))
+        pb.write_text(json.dumps({"full": {"y": 1.0}}))
+        assert main(["compare", "--bench", str(pa), str(pb),
+                     "--mode", "full"]) == 1
+        assert "no comparable cells" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Diff semantics
+# ----------------------------------------------------------------------
+class TestDiff:
+    def _store_with_two_runs(self, tmp_path, campaign, scale):
+        path = tmp_path / "w.sqlite"
+        outcome = campaign.run(out=path, sink="sqlite")
+        store = ResultStore(path)
+        store.begin_run(run_id="b")
+        for spec, result in outcome:
+            doctored = result.to_dict()
+            doctored["rounds"] = max(1, round(doctored["rounds"] * scale))
+            doctored["availability"] = 0.5
+            store.write("b", spec.key(), spec.to_dict(), doctored)
+        return store
+
+    def test_direction_aware_regression(self, tmp_path, campaign):
+        store = self._store_with_two_runs(tmp_path, campaign, scale=3.0)
+        rows = diff_runs(store, "campaign", "b",
+                         metrics=("rounds", "availability"),
+                         threshold=0.10)
+        by_metric = {}
+        for row in rows:
+            by_metric.setdefault(row.metric, []).append(row)
+        # rounds grew 3x -> regression; availability fell -> regression.
+        assert any(r.regressed for r in by_metric["rounds"])
+        assert all(r.regressed for r in by_metric["availability"])
+        assert not gate(rows)
+        store.close()
+
+    def test_improvement_is_not_regression(self, tmp_path, campaign):
+        store = self._store_with_two_runs(tmp_path, campaign, scale=0.3)
+        rows = diff_runs(store, "campaign", "b", metrics=("rounds",),
+                         threshold=0.10)
+        assert all(not r.regressed for r in rows)
+        assert gate(rows)
+        store.close()
+
+    def test_missing_groups_reported_not_gated(self, tmp_path, campaign):
+        path = tmp_path / "w.sqlite"
+        campaign.run(out=path, sink="sqlite")
+        with ResultStore(path) as store:
+            store.begin_run(run_id="partial")
+            for spec, result in campaign.run():
+                if spec.protocol != "mis":
+                    store.write("partial", spec.key(), spec.to_dict(),
+                                result.to_dict())
+            rows = diff_runs(store, "campaign", "partial",
+                             metrics=("rounds",))
+            assert {r.group for r in rows} == {"coloring/ring/synchronous"}
+            only_a, only_b = missing_groups(store, "campaign", "partial")
+            assert only_a == ["mis/ring/synchronous"] and only_b == []
+
+    def test_flatten_bench_grid_keys_by_identity(self):
+        payload = {
+            "grid": [
+                {"topology": "ring", "protocol": "mis",
+                 "engine": "incremental", "metrics": "full",
+                 "steps_per_sec": 123.0},
+            ],
+            "hot_loop": {"baseline": 10.0},
+            "n": 10_000, "budget_s": 1.5,
+        }
+        flat = flatten_bench(payload)
+        assert flat == {
+            "grid[ring/mis/incremental/full].steps_per_sec": 123.0,
+            "hot_loop.baseline": 10.0,
+        }
+
+    def test_diff_bench_ignores_one_sided_leaves(self):
+        rows = diff_bench({"x": 1.0, "only_a": 2.0},
+                          {"x": 1.0, "only_b": 3.0})
+        assert [r.group for r in rows] == ["x"]
+        assert gate(rows)
+
+    def test_bench_trajectory_round_trips(self, tmp_path):
+        with ResultStore(tmp_path / "w.sqlite") as store:
+            store.record_bench("BENCH_3", "tiny", {"hot_loop": {"x": 1.0}})
+            store.record_bench("BENCH_3", "tiny", {"hot_loop": {"x": 2.0}})
+            traj = store.bench_trajectory("BENCH_3", "tiny")
+            assert [t["hot_loop"]["x"] for t in traj] == [1.0, 2.0]
+            first, last = traj[0], traj[-1]
+            rows = diff_bench(first, last, threshold=0.25)
+            assert gate(rows)  # throughput doubled: an improvement
