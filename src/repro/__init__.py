@@ -47,6 +47,7 @@ from .api import (
     scheduler_registry,
     topology_registry,
 )
+from .fabric import Coordinator, FabricOutcome, ResultService, run_fabric
 from .results import (
     Aggregate,
     JsonlSink,
@@ -128,9 +129,11 @@ __all__ = [
     "CentralScheduler",
     "ColoringProtocol",
     "Configuration",
+    "Coordinator",
     "ExperimentSpec",
     "ConvergenceError",
     "EnabledSetEngine",
+    "FabricOutcome",
     "FullReadColoring",
     "FullReadMIS",
     "FullReadMatching",
@@ -142,6 +145,7 @@ __all__ = [
     "Network",
     "Protocol",
     "RandomSubsetScheduler",
+    "ResultService",
     "ResultStore",
     "RoundRobinScheduler",
     "ScanEngine",
@@ -189,6 +193,7 @@ __all__ = [
     "random_regular",
     "random_tree",
     "ring",
+    "run_fabric",
     "silence_witness",
     "star",
     "summarize",

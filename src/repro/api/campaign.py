@@ -196,6 +196,7 @@ class Campaign:
         progress: Optional[Callable[[ExperimentSpec, Any], None]] = None,
         sink: Union[str, Any] = "jsonl",
         out: Optional[Union[str, os.PathLike]] = None,
+        run_id: Optional[str] = None,
     ) -> CampaignOutcome:
         """Execute every spec; returns results aligned with the specs.
 
@@ -223,6 +224,11 @@ class Campaign:
         out:
             Sink destination path.  ``None`` (and no ``jsonl_path`` and
             no sink instance) keeps results in memory only.
+        run_id:
+            Store run to write into (``sink="sqlite"`` only; the sink's
+            default is ``"campaign"``).  Naming runs is what makes
+            serial-vs-fabric and before-vs-after comparisons possible
+            in one store (``repro compare --runs``).
         """
         # Function-local by design: api and results reference each
         # other (the sink protocol lives with the warehouse), and this
@@ -238,7 +244,14 @@ class Campaign:
             # Without resume the sink is started over, not appended to —
             # otherwise re-run rows would shadow (and double-count) old
             # ones.
-            sink_obj = make_sink(sink, path, append=resume)
+            sink_kwargs: Dict[str, Any] = {}
+            if run_id is not None:
+                if sink != "sqlite":
+                    raise ValueError(
+                        "run_id requires sink='sqlite' (JSONL files "
+                        "have no run namespace)")
+                sink_kwargs["run_id"] = run_id
+            sink_obj = make_sink(sink, path, append=resume, **sink_kwargs)
 
         completed: Dict[str, Any] = {}
         if resume and sink_obj is not None:
@@ -279,6 +292,22 @@ class Campaign:
             executed=len(pending),
             skipped=skipped,
         )
+
+    def run_fabric(self, store: Union[str, os.PathLike], **kwargs: Any):
+        """Execute this campaign through the fabric coordinator.
+
+        Shards the grid over worker subprocesses with crash recovery
+        and merges per-shard stores into ``store`` — trial-for-trial
+        identical to :meth:`run` with a sqlite sink, just distributed.
+        Keyword arguments pass through to
+        :class:`~repro.fabric.Coordinator` (``workers``, ``shards``,
+        ``run_id``, ``resume``, ...); returns its
+        :class:`~repro.fabric.FabricOutcome`.
+        """
+        # Same deliberate upward edge as the sink import in run().
+        from ..fabric import run_fabric
+
+        return run_fabric(self, store, **kwargs)
 
     @staticmethod
     def _run_serial(pending: Sequence[ExperimentSpec]):

@@ -16,12 +16,18 @@ Examples::
     python -m repro campaign --from-json campaign.json --out results.jsonl
     python -m repro campaign --protocols coloring --topologies ring:n=16 \\
         --seeds 16 --out results.sqlite --sink sqlite
-    python -m repro ingest results.jsonl --store results.sqlite
+    python -m repro ingest results.jsonl shard-0.sqlite --store results.sqlite
     python -m repro query --store results.sqlite --group-by protocol,topology \\
         --metrics rounds,total_bits --where scheduler=synchronous
     python -m repro report --store results.sqlite
+    python -m repro report --store results.sqlite --recipe paper-overhead
     python -m repro compare --store results.sqlite --runs run-a run-b
     python -m repro compare --bench BENCH_3.baseline.json BENCH_3.json --mode full
+    python -m repro compare --bench-store bench.sqlite --mode tiny
+    python -m repro fabric run --protocols coloring mis --topologies ring:n=16 \\
+        --seeds 25 --workers 4 --shards 8 --store results.sqlite
+    python -m repro serve --store results.sqlite --port 8349
+    python -m repro prune --store results.sqlite --older-than 30
 """
 
 from __future__ import annotations
@@ -55,12 +61,17 @@ from .graphs import Network, greedy_coloring
 from .results import (
     DEFAULT_GROUP_BY,
     DEFAULT_METRICS,
+    REPORT_RECIPES,
     ResultStore,
     SINK_KINDS,
     campaign_summary_table,
+    coerce_scalar,
     diff_bench,
     diff_runs_detailed,
+    parse_where,
     query_table,
+    recipe_table,
+    split_csv,
 )
 from .impossibility import (
     theorem1_gadget_demo,
@@ -262,15 +273,8 @@ def cmd_availability(args) -> int:
 
 def _coerce(text: str):
     """Parse a CLI parameter value: int, float, bool, or string."""
-    lowered = text.lower()
-    if lowered in ("true", "false"):
-        return lowered == "true"
-    for cast in (int, float):
-        try:
-            return cast(text)
-        except ValueError:
-            continue
-    return text
+    # Shared with the fabric HTTP service — same coercion both ways in.
+    return coerce_scalar(text)
 
 
 def parse_component(entry: str) -> Tuple[str, Dict[str, Any]]:
@@ -288,7 +292,13 @@ def parse_component(entry: str) -> Tuple[str, Dict[str, Any]]:
     return name.strip(), params
 
 
-def cmd_campaign(args) -> int:
+def _campaign_from_args(args) -> Campaign:
+    """Build the campaign a grid-shaped command describes.
+
+    Shared by ``repro campaign`` and ``repro fabric run / plan`` so the
+    grid vocabulary (axis flags, ``--from-json``, overrides) means the
+    same thing everywhere.
+    """
     if args.from_json:
         try:
             campaign = Campaign.from_json_file(args.from_json)
@@ -307,19 +317,42 @@ def cmd_campaign(args) -> int:
             campaign = Campaign(
                 spec.variant(**overrides) for spec in campaign.specs
             )
-    else:
-        scenario, scenario_params = scenario_from_args(args)
-        campaign = Campaign.grid(
-            protocols=[parse_component(p) for p in args.protocols],
-            topologies=[parse_component(t) for t in args.topologies],
-            schedulers=[parse_component(s) for s in args.schedulers],
-            seeds=range(args.seeds),
-            max_rounds=args.max_rounds,
-            engine=args.engine or "incremental",
-            metrics=args.metrics or "full",
-            scenario=scenario,
-            scenario_params=scenario_params,
+        return campaign
+    scenario, scenario_params = scenario_from_args(args)
+    return Campaign.grid(
+        protocols=[parse_component(p) for p in args.protocols],
+        topologies=[parse_component(t) for t in args.topologies],
+        schedulers=[parse_component(s) for s in args.schedulers],
+        seeds=range(args.seeds),
+        max_rounds=args.max_rounds,
+        engine=args.engine or "incremental",
+        metrics=args.metrics or "full",
+        scenario=scenario,
+        scenario_params=scenario_params,
+    )
+
+
+def cmd_campaign(args) -> int:
+    campaign = _campaign_from_args(args)
+    if args.fabric:
+        # Same grid, fabric execution: sharded worker processes with
+        # crash recovery, merged into a sqlite store (--out).
+        if not args.out:
+            raise SystemExit("--fabric needs --out STORE.sqlite")
+        from .fabric import run_fabric
+
+        outcome = run_fabric(
+            campaign, args.out,
+            run_id=args.run or "campaign",
+            workers=args.workers or 4,
+            shards=args.shards,
+            resume=not args.no_resume,
+            progress=None if args.quiet else (lambda m: print(f"  {m}")),
         )
+        print(outcome.describe())
+        with _open_store(args.out) as store:
+            print(campaign_summary_table(store.iter_results(outcome.run_id)))
+        return 0 if outcome.ok else 1
     print(f"campaign: {len(campaign)} specs "
           f"({'process pool of ' + str(args.workers) if args.workers >= 2 else 'serial'})")
 
@@ -336,6 +369,7 @@ def cmd_campaign(args) -> int:
             workers=args.workers,
             resume=not args.no_resume,
             progress=narrate,
+            run_id=args.run,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -353,36 +387,53 @@ def cmd_campaign(args) -> int:
 # ----------------------------------------------------------------------
 def _split_csv(text: str) -> List[str]:
     """Parse a ``--group-by``/``--metrics`` comma list."""
-    return [item.strip() for item in text.split(",") if item.strip()]
+    return split_csv(text)
 
 
 def _parse_where(entries: List[str]) -> Dict[str, Any]:
     """Parse ``--where col=value ...`` filters (values coerced)."""
-    where: Dict[str, Any] = {}
-    for entry in entries:
-        key, sep, value = entry.partition("=")
-        if not sep or not key:
-            raise SystemExit(f"bad --where filter {entry!r}: "
-                             f"expected column=value")
-        where[key.strip()] = _coerce(value.strip())
-    return where
+    try:
+        return parse_where(entries)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _is_sqlite_file(path: str) -> bool:
+    """Sniff the SQLite magic header (how ingest autodetects sources)."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(16) == b"SQLite format 3\x00"
+    except OSError:
+        return False
 
 
 def cmd_ingest(args) -> int:
-    """Bulk-load a campaign JSONL sink into a results store."""
+    """Bulk-load campaign sinks — JSONL files or other stores — into a
+    results store.  This is also the fabric's multi-host merge path:
+    each host's shard store ingests into the canonical one."""
     try:
         store = ResultStore(args.store)
     except ValueError as exc:  # e.g. --store pointed at a JSONL file
         raise SystemExit(str(exc))
     with store:
-        try:
-            run_id, count = store.ingest_jsonl(
-                args.jsonl, run_id=args.run, label=args.label
-            )
-        except OSError as exc:
-            raise SystemExit(f"cannot ingest {args.jsonl!r}: {exc}")
-    print(f"ingested {count} trials from {args.jsonl} "
-          f"into run {run_id!r} of {args.store}")
+        for source in args.sources:
+            try:
+                if _is_sqlite_file(source):
+                    run_id, count = store.ingest_store(
+                        source, src_run_id=args.from_run,
+                        run_id=args.run, label=args.label,
+                    )
+                else:
+                    run_id, count = store.ingest_jsonl(
+                        source, run_id=args.run, label=args.label
+                    )
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"cannot ingest {source!r}: {exc}")
+            print(f"ingested {count} trials from {source} "
+                  f"into run {run_id!r} of {args.store}")
+            # Without an explicit --run, later sources join the first
+            # one's fresh run instead of scattering over several.
+            args.run = args.run or run_id
     return 0
 
 
@@ -426,6 +477,10 @@ def cmd_query(args) -> int:
 
 def cmd_report(args) -> int:
     """The campaign summary table, from a store run or a JSONL sink."""
+    if args.list_recipes:
+        for name in sorted(REPORT_RECIPES):
+            print(REPORT_RECIPES[name].describe())
+        return 0
     if args.jsonl:
         try:
             print(campaign_summary_table(iter_campaign_results(args.jsonl),
@@ -447,6 +502,13 @@ def cmd_report(args) -> int:
                 markdown=args.markdown,
             ))
             return 0
+        if args.recipe:
+            try:
+                print(recipe_table(store, args.recipe, run_id=args.run,
+                                   markdown=args.markdown))
+            except ValueError as exc:
+                raise SystemExit(str(exc))
+            return 0
         try:
             table = campaign_summary_table(store.iter_results(args.run),
                                            markdown=args.markdown)
@@ -459,16 +521,35 @@ def cmd_report(args) -> int:
 def cmd_compare(args) -> int:
     """Diff two stored runs (or two BENCH_*.json files) with a
     regression threshold gate; exits 1 when anything regressed."""
-    if bool(args.bench) == bool(args.runs):
+    modes = [bool(args.bench), bool(args.runs), bool(args.bench_store)]
+    if sum(modes) != 1:
         raise SystemExit("compare needs exactly one of "
-                         "--runs RUN_A RUN_B (with --store) or "
-                         "--bench BASELINE CANDIDATE")
+                         "--runs RUN_A RUN_B (with --store), "
+                         "--bench BASELINE CANDIDATE, or "
+                         "--bench-store STORE")
     # Bench payloads are throughput measurements with real run-to-run
     # noise; their default gate is looser than run means over seeds.
     threshold = args.threshold if args.threshold is not None else (
-        0.25 if args.bench else 0.10
+        0.25 if (args.bench or args.bench_store) else 0.10
     )
-    if args.bench:
+    if args.bench_store:
+        # Trajectory gate: candidate = the newest recorded emission,
+        # baseline = the one before it (what CI restored from cache).
+        with _open_store(args.bench_store) as store:
+            trajectory = store.bench_trajectory(args.bench_name,
+                                                args.mode or "full")
+        if len(trajectory) < 2:
+            # A gate needs history; the first emission *is* the
+            # baseline, so pass and let the next run compare against it.
+            print(f"bench gate: {len(trajectory)} recorded emission(s) "
+                  f"for ({args.bench_name}, {args.mode or 'full'}) — "
+                  f"no baseline yet, nothing to gate")
+            return 0
+        rows = diff_bench(trajectory[-2], trajectory[-1],
+                          threshold=threshold)
+        label_a = f"{args.bench_name}[-2]"
+        label_b = f"{args.bench_name}[-1]"
+    elif args.bench:
         payloads = []
         for path in args.bench:
             try:
@@ -510,6 +591,124 @@ def cmd_compare(args) -> int:
           f"{len(regressed)} regressed "
           f"(threshold {threshold:.0%})")
     return 1 if regressed else 0
+
+
+# ----------------------------------------------------------------------
+# Fabric subcommands (fabric run / plan / worker, serve, prune)
+# ----------------------------------------------------------------------
+def cmd_fabric_run(args) -> int:
+    """Run a campaign grid through the sharded fabric coordinator."""
+    from .fabric import run_fabric
+
+    campaign = _campaign_from_args(args)
+    outcome = run_fabric(
+        campaign, args.store,
+        run_id=args.run,
+        label=args.label,
+        workers=args.workers,
+        shards=args.shards,
+        strategy=args.strategy,
+        workdir=args.workdir,
+        resume=not args.no_resume,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        max_retries=args.max_retries,
+        keep_shards=args.keep_shards,
+        chaos_kills=args.chaos_kill,
+        progress=None if args.quiet else (lambda m: print(f"  {m}")),
+    )
+    print(outcome.describe())
+    if not outcome.ok:
+        for key in outcome.missing[:5]:
+            print(f"  missing: {key}")
+        if len(outcome.missing) > 5:
+            print(f"  ... and {len(outcome.missing) - 5} more")
+        return 1
+    return 0
+
+
+def cmd_fabric_plan(args) -> int:
+    """Write shard files only — the multi-host half of the fabric.
+
+    Hand each file to a host (``repro fabric worker --shard-file ...``,
+    filesystem shared or files copied), then merge the shard stores
+    with ``repro ingest``.
+    """
+    from .fabric import build_plan
+
+    campaign = _campaign_from_args(args)
+    tasks = build_plan(campaign.specs, args.shards, args.workdir,
+                       args.run, strategy=args.strategy)
+    from .fabric import shard_file_path
+
+    for task in tasks:
+        path = task.write(shard_file_path(args.workdir, task.index))
+        print(f"shard {task.index}: {len(task.specs)} specs -> {path}")
+    print(f"{len(tasks)} shard files in {args.workdir}; run each with "
+          f"`repro fabric worker --shard-file FILE`, then merge with "
+          f"`repro ingest SHARD.sqlite... --store STORE --run {args.run}`")
+    return 0
+
+
+def cmd_fabric_worker(args) -> int:
+    """Execute one shard file (the per-host / per-process entry)."""
+    from .fabric import run_worker_file
+
+    return run_worker_file(args.shard_file, quiet=args.quiet)
+
+
+def cmd_serve(args) -> int:
+    """Serve a results store over HTTP (read-only, WAL-live)."""
+    from .fabric import ENDPOINTS, ResultService
+
+    try:
+        service = ResultService(args.store, host=args.host,
+                                port=args.port, quiet=args.quiet)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(f"serving {args.store} at {service.url}")
+    for path, text in sorted(ENDPOINTS.items()):
+        print(f"  {service.url}{path.rstrip('/')}/  — {text}")
+    print("Ctrl-C to stop")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_prune(args) -> int:
+    """Drop superseded runs from a store (latest-per-label guarded)."""
+    import fnmatch
+
+    with _open_store(args.store) as store:
+        selected: List[str] = list(args.runs)
+        for info in store.runs():
+            if (args.older_than is not None
+                    and info.age_s() > args.older_than * 86400.0):
+                selected.append(info.run_id)
+            if (args.label is not None
+                    and fnmatch.fnmatch(info.label or "", args.label)):
+                selected.append(info.run_id)
+        selected = list(dict.fromkeys(selected))
+        if not selected:
+            print("nothing to prune")
+            return 0
+        if args.dry_run:
+            for run_id in selected:
+                print(f"would prune {run_id!r} "
+                      f"({store.trial_count(run_id)} trials)")
+            return 0
+        try:
+            dropped = store.prune(selected, force=args.force,
+                                  vacuum=not args.no_vacuum)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    total = sum(dropped.values())
+    for run_id, count in dropped.items():
+        print(f"pruned {run_id!r} ({count} trials)")
+    print(f"{len(dropped)} runs, {total} trials dropped"
+          + ("" if args.no_vacuum else "; store vacuumed"))
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -569,6 +768,34 @@ def build_parser() -> argparse.ArgumentParser:
     avail.add_argument("--total-rounds", type=int, default=150)
     avail.set_defaults(fn=cmd_availability)
 
+    def add_grid_arguments(p):
+        """The campaign-grid vocabulary, shared with `fabric run/plan`."""
+        p.add_argument("--protocols", nargs="+", default=["coloring"])
+        p.add_argument("--topologies", nargs="+", default=["ring:n=12"])
+        p.add_argument("--schedulers", nargs="+", default=["synchronous"],
+                       help=" | ".join(scheduler_registry.names()))
+        p.add_argument("--seeds", type=int, default=4,
+                       help="number of seeds (0..seeds-1) per grid point")
+        p.add_argument("--engine", default=None,
+                       choices=engine_registry.names(),
+                       help="enabled-set engine applied to every spec "
+                            "(with --from-json: overrides the loaded "
+                            "specs' engines)")
+        p.add_argument("--metrics", default=None, choices=METRICS_TIERS,
+                       help="metrics tier applied to every spec (with "
+                            "--from-json: overrides the loaded specs' "
+                            "tiers); aggregate keeps results identical "
+                            "to full at a fraction of the step cost")
+        p.add_argument("--scenario", default=None,
+                       help="fault/churn scenario applied to every spec, "
+                            "name:key=value,... (with --from-json: "
+                            "overrides the loaded specs' scenarios); "
+                            f"known: {', '.join(scenario_registry.names())}")
+        p.add_argument("--max-rounds", type=int, default=50_000)
+        p.add_argument("--from-json", default=None,
+                       help="load specs (or {'grid': ...}) from a JSON "
+                            "file instead of the axis flags")
+
     camp = sub.add_parser(
         "campaign",
         help="run a protocols x topologies x schedulers x seeds grid",
@@ -577,30 +804,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "written per trial and completed trials are skipped "
                     "on re-run (resume).",
     )
-    camp.add_argument("--protocols", nargs="+", default=["coloring"])
-    camp.add_argument("--topologies", nargs="+", default=["ring:n=12"])
-    camp.add_argument("--schedulers", nargs="+", default=["synchronous"],
-                      help=" | ".join(scheduler_registry.names()))
-    camp.add_argument("--seeds", type=int, default=4,
-                      help="number of seeds (0..seeds-1) per grid point")
-    camp.add_argument("--engine", default=None,
-                      choices=engine_registry.names(),
-                      help="enabled-set engine applied to every spec "
-                           "(with --from-json: overrides the loaded "
-                           "specs' engines)")
-    camp.add_argument("--metrics", default=None, choices=METRICS_TIERS,
-                      help="metrics tier applied to every spec (with "
-                           "--from-json: overrides the loaded specs' "
-                           "tiers); aggregate keeps results identical "
-                           "to full at a fraction of the step cost")
-    camp.add_argument("--scenario", default=None,
-                      help="fault/churn scenario applied to every spec, "
-                           "name:key=value,... (with --from-json: "
-                           "overrides the loaded specs' scenarios); "
-                           f"known: {', '.join(scenario_registry.names())}")
-    camp.add_argument("--max-rounds", type=int, default=50_000)
+    add_grid_arguments(camp)
     camp.add_argument("--workers", type=int, default=0,
-                      help=">=2 fans trials out over a process pool")
+                      help=">=2 fans trials out over a process pool "
+                           "(with --fabric: fabric worker count, "
+                           "default 4)")
     camp.add_argument("--out", default=None,
                       help="sink path (JSONL file or sqlite store, "
                            "per --sink)")
@@ -609,27 +817,154 @@ def build_parser() -> argparse.ArgumentParser:
                            "line per trial) or sqlite (a queryable "
                            "results store; see `repro query/report`). "
                            "Resume works identically with either.")
+    camp.add_argument("--run", default=None,
+                      help="store run id to write into (sqlite sinks "
+                           "only; default 'campaign')")
     camp.add_argument("--no-resume", action="store_true",
                       help="re-run specs already present in --out")
-    camp.add_argument("--from-json", default=None,
-                      help="load specs (or {'grid': ...}) from a JSON file "
-                           "instead of the axis flags")
+    camp.add_argument("--fabric", action="store_true",
+                      help="execute through the sharded fabric "
+                           "(worker subprocesses with crash recovery; "
+                           "--out becomes a sqlite store). Equivalent "
+                           "to `repro fabric run`.")
+    camp.add_argument("--shards", type=int, default=None,
+                      help="fabric shard count (default: one per "
+                           "worker; more = finer recovery units)")
     camp.add_argument("--quiet", action="store_true",
                       help="suppress per-trial lines")
     camp.set_defaults(fn=cmd_campaign)
 
+    fab = sub.add_parser(
+        "fabric",
+        help="sharded distributed campaign execution (see docs/fabric.md)",
+        description="Shard a campaign grid over worker processes with "
+                    "heartbeat stall detection, bounded requeue, and "
+                    "store-level merge. `run` does everything locally; "
+                    "`plan` + `worker` + `ingest` split the same run "
+                    "across hosts.",
+    )
+    fabsub = fab.add_subparsers(dest="fabric_command", required=True)
+
+    fabrun = fabsub.add_parser(
+        "run", help="shard a grid over local worker processes")
+    add_grid_arguments(fabrun)
+    fabrun.add_argument("--store", required=True,
+                        help="canonical results store (sqlite)")
+    fabrun.add_argument("--run", default="campaign",
+                        help="store run id (default: campaign)")
+    fabrun.add_argument("--label", default=None, help="run label")
+    fabrun.add_argument("--workers", type=int, default=4,
+                        help="concurrent worker processes")
+    fabrun.add_argument("--shards", type=int, default=None,
+                        help="work units (default: one per worker)")
+    fabrun.add_argument("--strategy", default="hash",
+                        choices=("hash", "round-robin"),
+                        help="spec-to-shard assignment")
+    fabrun.add_argument("--workdir", default=None,
+                        help="shard file/store directory "
+                             "(default: STORE.fabric/)")
+    fabrun.add_argument("--heartbeat-timeout", type=float, default=15.0,
+                        help="seconds of worker silence before a "
+                             "stall kill + requeue")
+    fabrun.add_argument("--max-retries", type=int, default=2,
+                        help="relaunches allowed per shard")
+    fabrun.add_argument("--no-resume", action="store_true",
+                        help="re-run specs already in the store run")
+    fabrun.add_argument("--keep-shards", action="store_true",
+                        help="keep the workdir after a clean finish")
+    fabrun.add_argument("--chaos-kill", type=int, default=0,
+                        metavar="N",
+                        help="failure injection: hard-kill the first N "
+                             "workers after one trial (recovery drill; "
+                             "the CI smoke lane uses this)")
+    fabrun.add_argument("--quiet", action="store_true",
+                        help="suppress per-shard progress lines")
+    fabrun.set_defaults(fn=cmd_fabric_run)
+
+    fabplan = fabsub.add_parser(
+        "plan", help="write shard files for multi-host execution")
+    add_grid_arguments(fabplan)
+    fabplan.add_argument("--workdir", required=True,
+                         help="directory for shard files and stores")
+    fabplan.add_argument("--run", default="campaign",
+                         help="run id stamped into every shard")
+    fabplan.add_argument("--shards", type=int, required=True,
+                         help="number of shards to cut")
+    fabplan.add_argument("--strategy", default="hash",
+                         choices=("hash", "round-robin"))
+    fabplan.set_defaults(fn=cmd_fabric_plan)
+
+    fabwork = fabsub.add_parser(
+        "worker", help="execute one shard file (per-host entry)")
+    fabwork.add_argument("--shard-file", required=True,
+                         help="ShardTask JSON from the coordinator or "
+                              "`repro fabric plan`")
+    fabwork.add_argument("--quiet", action="store_true")
+    fabwork.set_defaults(fn=cmd_fabric_worker)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a results store over HTTP (live, read-only)",
+        description="GET /runs /query /report /compare against a store "
+                    "other processes may still be writing; WAL readers "
+                    "see every committed trial. JSON by default, "
+                    "markdown via ?format=markdown or Accept: "
+                    "text/markdown.",
+    )
+    serve.add_argument("--store", required=True, help="results store path")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8349,
+                       help="0 picks an ephemeral port")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request log lines")
+    serve.set_defaults(fn=cmd_serve)
+
+    prune = sub.add_parser(
+        "prune",
+        help="drop superseded runs from a results store",
+        description="Selects runs by id, age, or label glob (union), "
+                    "deletes their trials, and VACUUMs. The newest run "
+                    "of every label is protected unless --force — "
+                    "pruning a grid's only current baseline is almost "
+                    "always a mistake.",
+    )
+    prune.add_argument("--store", required=True, help="results store path")
+    prune.add_argument("--runs", nargs="*", default=[],
+                       help="run ids to drop")
+    prune.add_argument("--older-than", type=float, default=None,
+                       metavar="DAYS",
+                       help="also drop runs created more than DAYS ago")
+    prune.add_argument("--label", default=None, metavar="GLOB",
+                       help="also drop runs whose label matches "
+                            "(fnmatch glob)")
+    prune.add_argument("--force", action="store_true",
+                       help="allow dropping the latest run of a label")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="list what would be dropped, touch nothing")
+    prune.add_argument("--no-vacuum", action="store_true",
+                       help="skip the VACUUM after deleting")
+    prune.set_defaults(fn=cmd_prune)
+
     ing = sub.add_parser(
         "ingest",
-        help="bulk-load a campaign JSONL sink into a results store",
-        description="Streams the sink line by line (a truncated "
-                    "trailing line is tolerated) into one run of a "
-                    "SQLite results store; re-ingesting the same keys "
-                    "is last-writer-wins.",
+        help="bulk-load campaign sinks (JSONL or sqlite) into a store",
+        description="Each source is autodetected: a JSONL sink streams "
+                    "line by line (a truncated trailing line is "
+                    "tolerated); another sqlite store — e.g. a fabric "
+                    "shard store from a remote host — streams row by "
+                    "row. All sources land in one run unless --run "
+                    "varies; re-ingesting the same keys is "
+                    "last-writer-wins.",
     )
-    ing.add_argument("jsonl", help="campaign JSONL sink to ingest")
+    ing.add_argument("sources", nargs="+",
+                     help="JSONL sinks and/or sqlite stores to ingest")
     ing.add_argument("--store", required=True, help="results store path")
     ing.add_argument("--run", default=None,
-                     help="run id to ingest into (default: a fresh run)")
+                     help="run id to ingest into (default: a fresh run, "
+                          "shared by all sources)")
+    ing.add_argument("--from-run", default=None,
+                     help="source run to read from sqlite sources "
+                          "(default: the source's latest)")
     ing.add_argument("--label", default=None, help="run label")
     ing.set_defaults(fn=cmd_ingest)
 
@@ -672,6 +1007,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="render straight from a JSONL sink instead")
     rep.add_argument("--list-runs", action="store_true",
                      help="list the store's runs and their provenance")
+    rep.add_argument("--recipe", default=None,
+                     help="render a canned paper table instead "
+                          "(see --list-recipes)")
+    rep.add_argument("--list-recipes", action="store_true",
+                     help="list the canned paper-table recipes")
     rep.add_argument("--markdown", action="store_true",
                      help="emit a markdown table")
     rep.set_defaults(fn=cmd_report)
@@ -692,8 +1032,19 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None,
                       help="two BENCH_*.json files to compare instead "
                            "(throughput-like: lower is a regression)")
+    comp.add_argument("--bench-store", default=None, metavar="STORE",
+                      help="gate the newest bench emission in a store's "
+                           "trajectory against the one before it "
+                           "(written by bench_engine.py --store); "
+                           "passes when the trajectory has <2 points")
+    comp.add_argument("--bench-name", default="BENCH_3",
+                      help="trajectory to gate with --bench-store "
+                           "(BENCH_3 = engine grid + hot loop, "
+                           "BENCH_4 = scenario recovery)")
     comp.add_argument("--mode", default=None,
-                      help="BENCH section to compare (full | tiny)")
+                      help="BENCH section (--bench: full | tiny) or "
+                           "trajectory mode (--bench-store; "
+                           "default full)")
     comp.add_argument("--metrics", default=",".join(("rounds", "steps",
                                                      "total_bits")),
                       help="comma list of measures (--runs only)")

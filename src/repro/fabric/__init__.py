@@ -1,0 +1,61 @@
+"""Campaign fabric: sharded distributed execution + live results.
+
+The fabric turns one :class:`~repro.api.Campaign` into many worker
+processes and back into one canonical results store:
+
+* :mod:`~repro.fabric.plan` — partition a spec grid into
+  :class:`ShardTask` handoff files (``hash`` or ``round-robin``);
+* :mod:`~repro.fabric.worker` — one process per shard, claim-by-key
+  resume, commit-per-trial, heartbeats;
+* :mod:`~repro.fabric.coordinator` — dispatch, stall detection,
+  bounded requeue, merge via the store's ingest path;
+* :mod:`~repro.fabric.service` — the store over HTTP
+  (``/runs /query /report /compare``) while campaigns still write.
+
+Entry points: :func:`run_fabric` (or ``repro fabric run``) for a
+local sharded run, ``repro fabric plan`` + ``repro fabric worker``
+for multi-host runs over a shared filesystem, and
+:class:`ResultService` / ``repro serve`` for the live view.  The
+invariant the whole package is built around: a fabric run is
+trial-for-trial identical to the serial run of the same campaign.
+See ``docs/fabric.md``.
+"""
+
+from .coordinator import Coordinator, FabricOutcome, run_fabric
+from .heartbeat import (
+    HEARTBEAT_STATUSES,
+    Heartbeat,
+    read_heartbeat,
+    write_heartbeat,
+)
+from .plan import (
+    PARTITION_STRATEGIES,
+    ShardTask,
+    build_plan,
+    partition,
+    shard_file_path,
+    shard_of,
+)
+from .service import ENDPOINTS, ResultService
+from .worker import CHAOS_EXIT_CODE, run_shard, run_worker_file
+
+__all__ = [
+    "CHAOS_EXIT_CODE",
+    "Coordinator",
+    "ENDPOINTS",
+    "FabricOutcome",
+    "HEARTBEAT_STATUSES",
+    "Heartbeat",
+    "PARTITION_STRATEGIES",
+    "ResultService",
+    "ShardTask",
+    "build_plan",
+    "partition",
+    "read_heartbeat",
+    "run_fabric",
+    "run_shard",
+    "run_worker_file",
+    "shard_file_path",
+    "shard_of",
+    "write_heartbeat",
+]

@@ -1,0 +1,361 @@
+"""The fabric coordinator: shard, dispatch, watch, requeue, merge.
+
+One :class:`Coordinator` turns a :class:`~repro.api.Campaign` into a
+sharded multi-process run with crash recovery:
+
+1. **Claim** — open the canonical store, and (on resume) drop every
+   spec whose key it already holds (:meth:`ResultStore.pending_keys`).
+2. **Plan** — partition the remaining specs into shards
+   (:mod:`repro.fabric.plan`) and write one shard file each.
+3. **Dispatch** — keep at most ``workers`` worker subprocesses alive
+   (``python -m repro.fabric.worker``), each streaming trials into its
+   per-shard store and heartbeating.
+4. **Watch** — a worker that exits with work left undone, or goes
+   quiet past ``heartbeat_timeout_s`` (killed, wedged, host gone), is
+   *requeued*: its shard file is rewritten (chaos hooks stripped) and
+   relaunched with linear backoff, at most ``max_retries`` extra
+   times.  The relaunched worker resumes from its shard store, so
+   completed trials are never re-run.
+5. **Merge** — per-shard stores stream into the canonical store
+   through :meth:`ResultStore.ingest_store` (the same ingest path
+   ``repro ingest`` uses); the ``(run_id, key)`` primary key makes the
+   merge idempotent and duplicate-free.
+
+Because every spec carries its own seed, a fabric run is trial-for-
+trial identical to a serial run of the same grid — same keys, same
+measures — no matter how shards, deaths, and requeues interleave.
+That equivalence is regression-tested (``tests/test_fabric.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..results.store import ResultStore
+from .heartbeat import read_heartbeat
+from .plan import ShardTask, build_plan, shard_file_path
+from .worker import CHAOS_EXIT_CODE
+
+
+@dataclass
+class FabricOutcome:
+    """What a fabric run produced, and how it got there."""
+
+    run_id: str
+    store_path: str
+    #: specs in the campaign grid
+    total: int
+    #: fresh trials executed by workers during this run
+    executed: int
+    #: keys already in the canonical store when the run started
+    resumed: int
+    #: worker relaunches after a death or heartbeat stall
+    requeued: int
+    shards: int
+    workers: int
+    #: keys still absent after retries were exhausted
+    missing: List[str] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every spec in the grid has a stored trial."""
+        return not self.missing
+
+    def describe(self) -> str:
+        """One summary line for logs and the CLI."""
+        tail = "ok" if self.ok else f"{len(self.missing)} MISSING"
+        return (f"fabric run {self.run_id!r}: {self.executed} executed, "
+                f"{self.resumed} resumed, {self.requeued} requeued over "
+                f"{self.shards} shards x {self.workers} workers "
+                f"in {self.wall_time_s:.1f}s -> {self.store_path} [{tail}]")
+
+
+class _ShardState:
+    """Coordinator-side bookkeeping for one shard."""
+
+    def __init__(self, task: ShardTask, shard_file: str, log_path: str):
+        self.task = task
+        self.shard_file = shard_file
+        self.log_path = log_path
+        #: spec keys this shard owns (precomputed once)
+        self.keys = [spec.key() for spec in task.experiment_specs()]
+        self.attempts = 0
+        self.proc: Optional[subprocess.Popen] = None
+        self.log_fh = None
+        self.launched_at = 0.0  # monotonic
+        self.next_launch_at = 0.0  # monotonic; backoff gate
+        self.done = False
+        self.failed = False
+
+    def close_log(self) -> None:
+        if self.log_fh is not None:
+            self.log_fh.close()
+            self.log_fh = None
+
+
+class Coordinator:
+    """Sharded campaign execution over worker subprocesses (module docs)."""
+
+    def __init__(
+        self,
+        campaign,
+        store: Union[str, os.PathLike],
+        run_id: str = "campaign",
+        label: Optional[str] = None,
+        workers: int = 4,
+        shards: Optional[int] = None,
+        strategy: str = "hash",
+        workdir: Optional[Union[str, os.PathLike]] = None,
+        resume: bool = True,
+        heartbeat_timeout_s: float = 15.0,
+        heartbeat_interval_s: float = 0.5,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.5,
+        poll_interval_s: float = 0.05,
+        keep_shards: bool = False,
+        chaos_kills: int = 0,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.campaign = campaign
+        self.store_path = os.path.abspath(os.fspath(store))
+        self.run_id = run_id
+        self.label = label
+        self.workers = workers
+        #: more shards than workers = finer-grained recovery units
+        self.shards = shards if shards is not None else workers
+        if self.shards < 1:
+            raise ValueError(f"need at least one shard, got {self.shards}")
+        self.strategy = strategy
+        #: default next to the store so interrupted runs resume in place
+        self.workdir = os.path.abspath(os.fspath(
+            workdir if workdir is not None else self.store_path + ".fabric"
+        ))
+        self.resume = resume
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.poll_interval_s = poll_interval_s
+        self.keep_shards = keep_shards
+        self.chaos_kills = chaos_kills
+        self._progress = progress
+        self._requeued = 0
+
+    # ------------------------------------------------------------------
+    def _log(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    def run(self) -> FabricOutcome:
+        """Execute the campaign through the fabric; see module docs."""
+        t0 = time.perf_counter()
+        self._requeued = 0
+        all_keys = [spec.key() for spec in self.campaign.specs]
+        with ResultStore(self.store_path) as store:
+            run_id = store.begin_run(
+                run_id=self.run_id, label=self.label,
+                meta={"fabric": {
+                    "workers": self.workers, "shards": self.shards,
+                    "strategy": self.strategy,
+                }},
+            )
+            if not self.resume:
+                # Start over: a re-run must not shadow-mix with stale
+                # rows, in the canonical store or the shard stores.
+                store._conn.execute(
+                    "DELETE FROM trials WHERE run_id = ?", (run_id,))
+                store._conn.commit()
+                shutil.rmtree(self.workdir, ignore_errors=True)
+            pending_keys = set(store.pending_keys(run_id, all_keys))
+            pending = [s for s in self.campaign.specs
+                       if s.key() in pending_keys]
+            resumed = len(all_keys) - len(pending)
+            if pending:
+                states = self._plan(pending, run_id)
+                self._log(f"fabric {run_id!r}: {len(pending)} specs over "
+                          f"{len(states)} shards on {self.workers} workers "
+                          f"({self.strategy}); {resumed} resumed")
+                self._supervise(states)
+                self._merge(store, states, run_id)
+            else:
+                states = []
+                self._log(f"fabric {run_id!r}: nothing to do "
+                          f"({resumed} resumed)")
+            completed = store.completed_keys(run_id)
+            missing = [k for k in all_keys if k not in completed]
+            wall = time.perf_counter() - t0
+            store.finish_run(run_id, wall)
+        outcome = FabricOutcome(
+            run_id=run_id,
+            store_path=self.store_path,
+            total=len(all_keys),
+            executed=len(all_keys) - resumed - len(missing),
+            resumed=resumed,
+            requeued=self._requeued,
+            shards=len(states) if states else 0,
+            workers=self.workers,
+            missing=missing,
+            wall_time_s=wall,
+        )
+        if outcome.ok and not self.keep_shards:
+            shutil.rmtree(self.workdir, ignore_errors=True)
+        self._log(outcome.describe())
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _plan(self, pending, run_id: str) -> List[_ShardState]:
+        tasks = build_plan(
+            pending, self.shards, self.workdir, run_id,
+            strategy=self.strategy,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+        )
+        states = []
+        armed = 0
+        for task in tasks:
+            if armed < self.chaos_kills:
+                # Failure injection: this worker will hard-exit after
+                # its first fresh trial (first attempt only — requeue
+                # rewrites the shard file without the hook).
+                task = replace(task, chaos_exit_after=1)
+                armed += 1
+            shard_file = shard_file_path(self.workdir, task.index)
+            task.write(shard_file)
+            states.append(_ShardState(
+                task, shard_file,
+                os.path.join(self.workdir, f"shard-{task.index}.log"),
+            ))
+        return states
+
+    def _launch(self, state: _ShardState) -> None:
+        env = os.environ.copy()
+        # Workers must import repro regardless of the parent's cwd or
+        # install state: prepend this tree's src root.
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        state.log_fh = open(state.log_path, "a", encoding="utf-8")
+        state.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.fabric.worker",
+             "--shard-file", state.shard_file, "--quiet"],
+            stdout=state.log_fh, stderr=subprocess.STDOUT, env=env,
+        )
+        state.attempts += 1
+        state.launched_at = time.monotonic()
+        self._log(f"shard {state.task.index}: launched "
+                  f"(attempt {state.attempts}, pid {state.proc.pid})")
+
+    def _shard_remaining(self, state: _ShardState) -> List[str]:
+        """Keys of ``state``'s shard not yet committed to its store."""
+        if not os.path.exists(state.task.store_path):
+            return list(state.keys)
+        try:
+            with ResultStore(state.task.store_path) as shard_store:
+                return shard_store.pending_keys(state.task.run_id,
+                                                state.keys)
+        except ValueError:
+            # A store file the dying worker never finished creating.
+            return list(state.keys)
+
+    def _stalled(self, state: _ShardState, now: float) -> bool:
+        """Alive but silent past the heartbeat timeout?"""
+        if now - state.launched_at <= self.heartbeat_timeout_s:
+            return False  # startup grace: first beat needs import time
+        heartbeat = read_heartbeat(state.task.heartbeat_path)
+        return (heartbeat is None
+                or heartbeat.age_s() > self.heartbeat_timeout_s)
+
+    def _supervise(self, states: List[_ShardState]) -> None:
+        """The dispatch/watch/requeue loop (at most ``workers`` alive)."""
+        waiting: List[_ShardState] = list(states)
+        active: List[_ShardState] = []
+        try:
+            while waiting or active:
+                now = time.monotonic()
+                for state in list(waiting):
+                    if len(active) >= self.workers:
+                        break
+                    if state.next_launch_at > now:
+                        continue
+                    waiting.remove(state)
+                    self._launch(state)
+                    active.append(state)
+                for state in list(active):
+                    returncode = state.proc.poll()
+                    if returncode is None:
+                        if not self._stalled(state, now):
+                            continue
+                        self._log(f"shard {state.task.index}: stalled "
+                                  f"(no heartbeat for "
+                                  f">{self.heartbeat_timeout_s:.0f}s), "
+                                  f"killing pid {state.proc.pid}")
+                        state.proc.kill()
+                        returncode = state.proc.wait()
+                    active.remove(state)
+                    state.close_log()
+                    remaining = self._shard_remaining(state)
+                    if not remaining:
+                        state.done = True
+                        self._log(f"shard {state.task.index}: complete "
+                                  f"({len(state.keys)} trials)")
+                        continue
+                    if state.attempts > self.max_retries:
+                        state.failed = True
+                        self._log(f"shard {state.task.index}: giving up "
+                                  f"after {state.attempts} attempts "
+                                  f"({len(remaining)} keys missing, "
+                                  f"exit {returncode})")
+                        continue
+                    self._requeued += 1
+                    state.task = state.task.without_chaos()
+                    state.task.write(state.shard_file)
+                    state.next_launch_at = (
+                        time.monotonic()
+                        + self.retry_backoff_s * state.attempts)
+                    cause = ("chaos kill"
+                             if returncode == CHAOS_EXIT_CODE else
+                             f"exit {returncode}")
+                    self._log(f"shard {state.task.index}: worker died "
+                              f"({cause}) with {len(remaining)} keys left; "
+                              f"requeued with backoff")
+                    waiting.append(state)
+                if waiting or active:
+                    time.sleep(self.poll_interval_s)
+        finally:
+            # Never leave orphans: a coordinator crash or Ctrl-C must
+            # not strand worker processes.
+            for state in active:
+                if state.proc is not None and state.proc.poll() is None:
+                    state.proc.kill()
+                    state.proc.wait()
+                state.close_log()
+
+    def _merge(self, store: ResultStore, states: Sequence[_ShardState],
+               run_id: str) -> None:
+        """Stream every shard store into the canonical run."""
+        for state in states:
+            if not os.path.exists(state.task.store_path):
+                continue
+            try:
+                _run, count = store.ingest_store(
+                    state.task.store_path, src_run_id=run_id,
+                    run_id=run_id, label=self.label,
+                )
+            except ValueError:
+                continue  # unreadable partial store; its keys re-run later
+            self._log(f"shard {state.task.index}: merged {count} trials "
+                      f"into {os.path.basename(self.store_path)}")
+
+
+def run_fabric(campaign, store, **kwargs: Any) -> FabricOutcome:
+    """Run ``campaign`` through a :class:`Coordinator` (one call)."""
+    return Coordinator(campaign, store, **kwargs).run()

@@ -1,0 +1,103 @@
+"""Worker heartbeats: liveness and progress as one small file.
+
+A fabric worker owns one heartbeat file (named in its
+:class:`~repro.fabric.plan.ShardTask`) and rewrites it atomically —
+temp file + ``os.replace`` — after every finished trial and on a
+timer, so a reader never sees a torn write and a worker stuck inside
+one long trial still looks alive.  The coordinator reads these files
+to decide three things: is the worker making progress, has it finished
+(``status="done"``), and has it gone quiet longer than the heartbeat
+timeout (stall → kill → requeue).
+
+Files, not sockets, on purpose: the same mechanism works for local
+subprocesses and for remote hosts sharing a filesystem, and a
+heartbeat that outlives its worker is exactly the evidence the
+coordinator needs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Union
+
+#: Heartbeat lifecycle states a worker reports.
+HEARTBEAT_STATUSES = ("running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One worker's most recent sign of life."""
+
+    shard: int
+    pid: int
+    completed: int
+    total: int
+    status: str  # "running" | "done" | "failed"
+    updated_at: float  # epoch seconds (time.time)
+    error: Optional[str] = None
+
+    def age_s(self, now: Optional[float] = None) -> float:
+        """Seconds since the worker last wrote this heartbeat."""
+        now = time.time() if now is None else now
+        return now - self.updated_at
+
+    @property
+    def done(self) -> bool:
+        """Whether the worker reported an orderly finish."""
+        return self.status == "done"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "pid": self.pid,
+            "completed": self.completed,
+            "total": self.total,
+            "status": self.status,
+            "updated_at": self.updated_at,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Heartbeat":
+        return cls(
+            shard=int(data["shard"]),
+            pid=int(data["pid"]),
+            completed=int(data["completed"]),
+            total=int(data["total"]),
+            status=data["status"],
+            updated_at=float(data["updated_at"]),
+            error=data.get("error"),
+        )
+
+
+def write_heartbeat(path: Union[str, os.PathLike],
+                    heartbeat: Heartbeat) -> None:
+    """Atomically replace the heartbeat file (write temp, rename).
+
+    ``os.replace`` is atomic on POSIX and Windows, so a coordinator
+    polling mid-write reads the previous complete heartbeat, never a
+    truncated one.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(heartbeat.to_dict(), fh)
+    os.replace(tmp, path)
+
+
+def read_heartbeat(path: Union[str, os.PathLike]) -> Optional[Heartbeat]:
+    """The current heartbeat, or None when missing/unreadable.
+
+    Tolerant by design: a worker that died before its first beat, or a
+    file caught in an unexpected state, reads as "no heartbeat" — the
+    coordinator treats that like a stale one once the grace period
+    passes.
+    """
+    try:
+        with open(os.fspath(path), "r", encoding="utf-8") as fh:
+            return Heartbeat.from_dict(json.load(fh))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None

@@ -1,0 +1,167 @@
+"""Shard planning: split one campaign grid into worker-sized pieces.
+
+A fabric run starts from an ordered spec list (a
+:class:`~repro.api.Campaign`) and partitions it into *shards* — one
+unit of work per worker process.  Two strategies:
+
+* ``round-robin`` — spec *i* goes to shard ``i % shards``; balanced by
+  construction and stable under grid reordering-free edits;
+* ``hash`` — spec *i* goes to ``sha256(key) % shards``; a spec lands
+  on the same shard no matter how the grid around it changes, so
+  partially-complete shard stores stay valid when a campaign grows.
+
+Either way the shards are disjoint and cover the grid exactly — the
+zero-duplicate-keys invariant starts here and the store's
+``(run_id, key)`` primary key enforces it the rest of the way.
+
+A :class:`ShardTask` is the file-based handoff unit: everything one
+worker needs (spec dicts, per-shard store path, heartbeat path, run
+id) as one JSON document.  The coordinator writes these for its local
+subprocesses, and the same files drive remote hosts —
+``repro fabric plan`` writes them, each host runs
+``repro fabric worker --shard-file ...``, and ``repro ingest`` merges
+the shard stores back.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..api.spec import ExperimentSpec
+
+#: Spec-to-shard assignment strategies understood by :func:`partition`.
+PARTITION_STRATEGIES = ("hash", "round-robin")
+
+
+def shard_of(key: str, shards: int) -> int:
+    """The hash-strategy shard of one spec key (stable across runs)."""
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def partition(
+    specs: Sequence[ExperimentSpec],
+    shards: int,
+    strategy: str = "hash",
+) -> List[List[ExperimentSpec]]:
+    """Split ``specs`` into ``shards`` disjoint, covering lists.
+
+    Empty shards are kept (callers drop them when building tasks) so
+    shard indexes are stable regardless of how keys distribute.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    if strategy not in PARTITION_STRATEGIES:
+        raise ValueError(f"unknown partition strategy {strategy!r}; "
+                         f"known: {PARTITION_STRATEGIES}")
+    out: List[List[ExperimentSpec]] = [[] for _ in range(shards)]
+    for i, spec in enumerate(specs):
+        if strategy == "round-robin":
+            out[i % shards].append(spec)
+        else:
+            out[shard_of(spec.key(), shards)].append(spec)
+    return out
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One worker's worth of a fabric run, as plain JSON-able data.
+
+    ``chaos_exit_after`` is a failure-injection hook for tests and the
+    CI fabric smoke: the worker hard-exits (``os._exit``, no cleanup —
+    indistinguishable from a crashed host) after writing that many
+    fresh trials.  The coordinator strips it when it requeues a shard,
+    so an injected death is recovered exactly like a real one.
+    """
+
+    index: int
+    run_id: str
+    store_path: str
+    heartbeat_path: str
+    specs: Tuple[Dict[str, Any], ...]
+    heartbeat_interval_s: float = 0.5
+    chaos_exit_after: Optional[int] = None
+
+    def experiment_specs(self) -> List[ExperimentSpec]:
+        """The shard's spec dicts, rebuilt into live specs."""
+        return [ExperimentSpec.from_dict(d) for d in self.specs]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "run_id": self.run_id,
+            "store_path": self.store_path,
+            "heartbeat_path": self.heartbeat_path,
+            "heartbeat_interval_s": self.heartbeat_interval_s,
+            "chaos_exit_after": self.chaos_exit_after,
+            "specs": [dict(d) for d in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardTask":
+        return cls(
+            index=int(data["index"]),
+            run_id=data["run_id"],
+            store_path=data["store_path"],
+            heartbeat_path=data["heartbeat_path"],
+            specs=tuple(dict(d) for d in data["specs"]),
+            heartbeat_interval_s=float(data.get("heartbeat_interval_s", 0.5)),
+            chaos_exit_after=data.get("chaos_exit_after"),
+        )
+
+    def write(self, path: Union[str, os.PathLike]) -> str:
+        """Serialize to a shard file (the worker handoff document)."""
+        path = os.fspath(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def read(cls, path: Union[str, os.PathLike]) -> "ShardTask":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def without_chaos(self) -> "ShardTask":
+        """A copy with the failure-injection hook disarmed (requeue)."""
+        return replace(self, chaos_exit_after=None)
+
+
+def shard_file_path(workdir: str, index: int) -> str:
+    """Canonical shard-file location inside a fabric workdir."""
+    return os.path.join(workdir, f"shard-{index}.json")
+
+
+def build_plan(
+    specs: Sequence[ExperimentSpec],
+    shards: int,
+    workdir: Union[str, os.PathLike],
+    run_id: str,
+    strategy: str = "hash",
+    heartbeat_interval_s: float = 0.5,
+) -> List[ShardTask]:
+    """Partition ``specs`` and lay out one :class:`ShardTask` per
+    non-empty shard under ``workdir`` (created if missing).
+
+    Paths are absolute so shard files stay valid from any working
+    directory (and from other hosts sharing the filesystem).
+    """
+    workdir = os.path.abspath(os.fspath(workdir))
+    os.makedirs(workdir, exist_ok=True)
+    tasks: List[ShardTask] = []
+    for index, shard_specs in enumerate(partition(specs, shards, strategy)):
+        if not shard_specs:
+            continue
+        tasks.append(ShardTask(
+            index=index,
+            run_id=run_id,
+            store_path=os.path.join(workdir, f"shard-{index}.sqlite"),
+            heartbeat_path=os.path.join(workdir, f"heartbeat-{index}.json"),
+            specs=tuple(spec.to_dict() for spec in shard_specs),
+            heartbeat_interval_s=heartbeat_interval_s,
+        ))
+    return tasks

@@ -1,0 +1,340 @@
+"""Live results service: the warehouse over HTTP while runs are hot.
+
+:class:`ResultService` serves a :class:`~repro.results.ResultStore`
+read-only over plain HTTP — stdlib ``http.server``, no framework, no
+new dependencies.  Every request opens a fresh WAL *reader* connection
+against the store file, so a campaign (serial or fabric) can keep
+writing while dashboards poll: readers see every committed trial and
+none of the in-flight one, and aggregates grow monotonically.
+
+Endpoints (all ``GET``):
+
+========== =========================================================
+``/``        endpoint index
+``/health``  liveness + store totals
+``/runs``    stored runs with provenance and trial counts
+``/query``   grouped statistics (``metrics``, ``group_by``, ``where``,
+             ``run`` parameters — same vocabulary as ``repro query``)
+``/report``  rendered table: a named ``recipe`` or ad-hoc axes
+``/compare`` two runs diffed cell-by-cell (``runs=a,b``,
+             ``threshold``)
+========== =========================================================
+
+Responses negotiate format: ``?format=json|markdown`` wins, else an
+``Accept: text/markdown`` header, else JSON.  Bad parameters are 400
+with a JSON error body; an unreadable store is 503 — the service stays
+up while a store is being moved or pruned.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..results.diff import diff_runs_detailed
+from ..results.params import coerce_scalar, parse_where, split_csv
+from ..results.report import recipe_table, query_table, REPORT_RECIPES
+from ..results.store import (
+    DEFAULT_GROUP_BY,
+    DEFAULT_METRICS,
+    ResultStore,
+)
+
+#: endpoint -> one-line description, served at ``/``.
+ENDPOINTS = {
+    "/": "this index",
+    "/health": "liveness and store totals",
+    "/runs": "stored runs with provenance and trial counts",
+    "/query": "grouped statistics (metrics, group_by, where, run)",
+    "/report": "rendered table (recipe=NAME, or metrics/group_by/where)",
+    "/compare": "diff two runs (runs=a,b, threshold, metrics, group_by)",
+}
+
+
+def _pick_format(params: Dict[str, List[str]], accept: str) -> str:
+    """``json`` or ``markdown`` — explicit param beats Accept header."""
+    wanted = params.get("format", [None])[-1]
+    if wanted is not None:
+        if wanted in ("json",):
+            return "json"
+        if wanted in ("markdown", "md"):
+            return "markdown"
+        raise ValueError(f"unknown format {wanted!r}; use json or markdown")
+    if "text/markdown" in (accept or ""):
+        return "markdown"
+    return "json"
+
+
+def _one(params: Dict[str, List[str]], name: str,
+         default: Optional[str] = None) -> Optional[str]:
+    """Last value of a query parameter (repeats override, curl-style)."""
+    values = params.get(name)
+    return values[-1] if values else default
+
+
+def _csv(params: Dict[str, List[str]], name: str) -> Optional[List[str]]:
+    """CSV parameter, or None when absent (callers fall to defaults)."""
+    raw = _one(params, name)
+    return split_csv(raw) if raw is not None else None
+
+
+def _groups_payload(groups, group_by, metrics) -> Dict[str, Any]:
+    return {
+        "group_by": list(group_by),
+        "metrics": list(metrics),
+        "groups": [
+            {"group": g.group, "count": g.count,
+             "aggregates": {m: agg.to_dict()
+                            for m, agg in g.aggregates.items()}}
+            for g in groups
+        ],
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request: open the store, answer, close — no shared state."""
+
+    server_version = "repro-fabric/1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
+        if not getattr(self.server, "quiet", True):
+            super().log_message(fmt, *args)
+
+    def _send(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        self._send(status, json.dumps(payload, indent=2) + "\n",
+                   "application/json")
+
+    def _send_markdown(self, text: str, status: int = 200) -> None:
+        if not text.endswith("\n"):
+            text += "\n"
+        self._send(status, text, "text/markdown")
+
+    # -- dispatch ------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib name)
+        url = urlsplit(self.path)
+        params = parse_qs(url.query, keep_blank_values=True)
+        try:
+            fmt = _pick_format(params, self.headers.get("Accept", ""))
+            handler = {
+                "/": self._handle_index,
+                "/health": self._handle_health,
+                "/runs": self._handle_runs,
+                "/query": self._handle_query,
+                "/report": self._handle_report,
+                "/compare": self._handle_compare,
+            }.get(url.path.rstrip("/") or "/")
+            if handler is None:
+                self._send_json({"error": f"no such endpoint {url.path!r}",
+                                 "endpoints": sorted(ENDPOINTS)}, status=404)
+                return
+            handler(params, fmt)
+        except ValueError as exc:
+            # Caller mistake: bad run id, unknown recipe/column/format.
+            self._send_json({"error": str(exc)}, status=400)
+        except OSError as exc:
+            # Store trouble is the server's, not the caller's.
+            self._send_json({"error": f"store unavailable: {exc}"},
+                            status=503)
+
+    def _store(self) -> ResultStore:
+        # A fresh connection per request: WAL readers pick up everything
+        # committed so far, which is what makes aggregates monotone
+        # while a campaign is still writing.
+        try:
+            return ResultStore(self.server.store_path, create=False)
+        except ValueError as exc:
+            raise OSError(str(exc))
+
+    # -- endpoints -----------------------------------------------------
+    def _handle_index(self, params, fmt) -> None:
+        if fmt == "markdown":
+            lines = ["# repro results service", ""]
+            lines += [f"- `{path}` — {text}"
+                      for path, text in sorted(ENDPOINTS.items())]
+            self._send_markdown("\n".join(lines))
+        else:
+            self._send_json({"service": "repro results",
+                             "store": self.server.store_path,
+                             "endpoints": ENDPOINTS})
+
+    def _handle_health(self, params, fmt) -> None:
+        with self._store() as store:
+            runs = store.runs()
+            payload = {"ok": True, "store": self.server.store_path,
+                       "runs": len(runs),
+                       "trials": sum(r.trials for r in runs)}
+        if fmt == "markdown":
+            self._send_markdown(
+                f"ok: {payload['runs']} runs, {payload['trials']} trials")
+        else:
+            self._send_json(payload)
+
+    def _handle_runs(self, params, fmt) -> None:
+        with self._store() as store:
+            runs = [asdict(r) for r in store.runs()]
+        if fmt == "markdown":
+            lines = [f"- `{r['run_id']}` — {r['trials']} trials"
+                     + (f" ({r['label']})" if r["label"] else "")
+                     for r in runs]
+            self._send_markdown("\n".join(lines) if lines else "(no runs)")
+        else:
+            self._send_json({"runs": runs})
+
+    def _query_args(self, params) -> Tuple[List[str], Dict[str, Any],
+                                           List[str], Optional[str]]:
+        metrics = _csv(params, "metrics") or list(DEFAULT_METRICS)
+        group_by = _csv(params, "group_by") or list(DEFAULT_GROUP_BY)
+        where = parse_where(params.get("where", []))
+        run = _one(params, "run")
+        return metrics, where, group_by, run
+
+    def _handle_query(self, params, fmt) -> None:
+        metrics, where, group_by, run = self._query_args(params)
+        with self._store() as store:
+            groups = store.query(metrics=metrics, where=where,
+                                 group_by=group_by, run_id=run)
+            payload = _groups_payload(groups, group_by, metrics)
+            payload["run"] = run
+        if fmt == "markdown":
+            self._send_markdown(query_table(
+                groups, group_by, metrics, title="query", markdown=True))
+        else:
+            self._send_json(payload)
+
+    def _handle_report(self, params, fmt) -> None:
+        recipe = _one(params, "recipe")
+        run = _one(params, "run")
+        with self._store() as store:
+            if recipe is not None:
+                if fmt == "markdown":
+                    self._send_markdown(recipe_table(
+                        store, recipe, run_id=run, markdown=True))
+                    return
+                spec = REPORT_RECIPES.get(recipe)
+                if spec is None:
+                    raise ValueError(
+                        f"unknown recipe {recipe!r}; known: "
+                        f"{sorted(REPORT_RECIPES)}")
+                groups = store.query(metrics=spec.metrics,
+                                     where=dict(spec.where),
+                                     group_by=spec.group_by, run_id=run)
+                payload = _groups_payload(groups, spec.group_by,
+                                          spec.metrics)
+                payload.update({"recipe": recipe, "title": spec.title,
+                                "run": run})
+                self._send_json(payload)
+                return
+            metrics, where, group_by, run = self._query_args(params)
+            groups = store.query(metrics=metrics, where=where,
+                                 group_by=group_by, run_id=run)
+        if fmt == "markdown":
+            self._send_markdown(query_table(
+                groups, group_by, metrics, title="report", markdown=True))
+        else:
+            payload = _groups_payload(groups, group_by, metrics)
+            payload["run"] = run
+            self._send_json(payload)
+
+    def _handle_compare(self, params, fmt) -> None:
+        runs = _csv(params, "runs") or []
+        if len(runs) != 2:
+            raise ValueError("compare needs runs=<a>,<b> (exactly two)")
+        metrics = _csv(params, "metrics")
+        group_by = _csv(params, "group_by")
+        threshold_raw = _one(params, "threshold")
+        threshold = (float(coerce_scalar(threshold_raw))
+                     if threshold_raw is not None else 0.10)
+        where = parse_where(params.get("where", []))
+        kwargs: Dict[str, Any] = {"where": where, "threshold": threshold}
+        if metrics is not None:
+            kwargs["metrics"] = metrics
+        if group_by is not None:
+            kwargs["group_by"] = group_by
+        with self._store() as store:
+            rows, only_a, only_b = diff_runs_detailed(
+                store, runs[0], runs[1], **kwargs)
+        regressed = any(r.regressed for r in rows)
+        if fmt == "markdown":
+            lines = [f"# compare `{runs[0]}` vs `{runs[1]}`", ""]
+            lines += [f"- {row.describe()}" for row in rows]
+            for missing, side in ((only_a, runs[0]), (only_b, runs[1])):
+                lines += [f"- {g}: only in `{side}`" for g in missing]
+            lines += ["", "REGRESSED" if regressed else "ok"]
+            self._send_markdown("\n".join(lines))
+        else:
+            self._send_json({
+                "runs": runs, "threshold": threshold,
+                "regressed": regressed,
+                "rows": [asdict(row) for row in rows],
+                "only_a": only_a, "only_b": only_b,
+            })
+
+
+class ResultService:
+    """A results store served over HTTP (see module docs).
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``
+    after construction) — the test-friendly default.  Use as a context
+    manager, or :meth:`start`/:meth:`close` around a background
+    thread, or :meth:`serve_forever` to occupy the calling thread
+    (what ``repro serve`` does).
+    """
+
+    def __init__(self, store_path: str, host: str = "127.0.0.1",
+                 port: int = 0, quiet: bool = True):
+        # Fail fast on a missing store, before binding a socket.
+        ResultStore(store_path, create=False).close()
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.store_path = store_path
+        self._server.quiet = quiet
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should hit."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ResultService":
+        """Serve from a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._server.serve_forever()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ResultService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

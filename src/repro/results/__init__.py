@@ -21,11 +21,17 @@ from .diff import (
     gate,
     missing_groups,
 )
+from .params import coerce_scalar, parse_where, split_csv
 from .report import (
     CAMPAIGN_SUMMARY_HEADERS,
+    REPORT_RECIPES,
+    ReportRecipe,
     campaign_summary_rows,
     campaign_summary_table,
     query_table,
+    recipe_rows,
+    recipe_table,
+    register_recipe,
 )
 from .sinks import SINK_KINDS, JsonlSink, Sink, SqliteSink, make_sink
 from .stats import Aggregate, summarize, summarize_columns
@@ -49,6 +55,8 @@ __all__ = [
     "GroupStats",
     "JsonlSink",
     "MEASURE_COLUMNS",
+    "REPORT_RECIPES",
+    "ReportRecipe",
     "ResultStore",
     "RunInfo",
     "SINK_KINDS",
@@ -56,6 +64,7 @@ __all__ = [
     "SqliteSink",
     "campaign_summary_rows",
     "campaign_summary_table",
+    "coerce_scalar",
     "diff_bench",
     "diff_runs",
     "diff_runs_detailed",
@@ -63,7 +72,12 @@ __all__ = [
     "gate",
     "make_sink",
     "missing_groups",
+    "parse_where",
     "query_table",
+    "recipe_rows",
+    "recipe_table",
+    "register_recipe",
+    "split_csv",
     "summarize",
     "summarize_columns",
 ]

@@ -1,0 +1,48 @@
+"""Query-parameter parsing shared by the CLI and the results service.
+
+``repro query --where protocol=coloring --metrics rounds,steps`` and
+``GET /query?where=protocol=coloring&metrics=rounds,steps`` are the
+same request over different transports, so both parse their parameters
+here: scalar coercion (int / float / bool / string), comma lists, and
+``column=value`` filter entries.  Keeping one implementation means the
+service accepts exactly the vocabulary the CLI documents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+
+def coerce_scalar(text: str) -> Any:
+    """Parse one parameter value: int, float, bool, or string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def split_csv(text: str) -> List[str]:
+    """Parse a ``--group-by``/``--metrics`` style comma list."""
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def parse_where(entries: Iterable[str]) -> Dict[str, Any]:
+    """Parse ``column=value`` filter entries (values coerced).
+
+    Raises ``ValueError`` on a malformed entry so both transports can
+    answer with the same message (the CLI exits, the service 400s).
+    """
+    where: Dict[str, Any] = {}
+    for entry in entries:
+        key, sep, value = entry.partition("=")
+        if not sep or not key.strip():
+            raise ValueError(
+                f"bad where filter {entry!r}: expected column=value"
+            )
+        where[key.strip()] = coerce_scalar(value.strip())
+    return where

@@ -1,6 +1,6 @@
 """Paper-style tables over campaign results and warehouse queries.
 
-Two renderers:
+Three renderers:
 
 * :func:`campaign_summary_table` — the protocols × topologies ×
   schedulers roll-up the ``repro campaign`` command has always
@@ -12,13 +12,19 @@ Two renderers:
   (:class:`~repro.results.store.GroupStats`) as an aligned or markdown
   table: one row per group, mean ± CI95 / median / min / max per
   measure.
+* :func:`recipe_table` — canned paper tables: a named
+  :class:`ReportRecipe` (grouping + measures + rendering) resolved
+  from :data:`REPORT_RECIPES`, so ``repro report --recipe
+  paper-overhead`` and ``GET /report?recipe=paper-overhead`` render
+  the paper's §5-style claims straight from a store with one name.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..experiments.tables import format_table
+from ..experiments.tables import _fmt, format_table
 from .store import GroupStats
 
 
@@ -102,3 +108,116 @@ def query_table(
         rows.append(row)
     return format_table(headers, rows, title=title, markdown=markdown,
                         precision=precision)
+
+
+# ----------------------------------------------------------------------
+# Canned paper tables (named recipes)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReportRecipe:
+    """One canned paper table: grouping, measures, and presentation.
+
+    A recipe is pure description — :func:`recipe_table` runs it against
+    any store/run via :meth:`~repro.results.ResultStore.query` and
+    renders each measure as one ``mean ± CI95`` column, the paper's
+    cell format.
+    """
+
+    name: str
+    title: str
+    group_by: Tuple[str, ...]
+    metrics: Tuple[str, ...]
+    #: optional equality filters applied to every query
+    where: Dict[str, Any] = field(default_factory=dict)
+    precision: int = 3
+
+    def describe(self) -> str:
+        """One line for ``repro report --list-recipes``."""
+        return (f"{self.name}: {self.title} "
+                f"[{' x '.join(self.group_by)}; "
+                f"{', '.join(self.metrics)}]")
+
+
+#: The named-recipe registry behind ``repro report --recipe`` and the
+#: service's ``/report?recipe=``.  Extend with :func:`register_recipe`.
+REPORT_RECIPES: Dict[str, ReportRecipe] = {}
+
+
+def register_recipe(recipe: ReportRecipe) -> ReportRecipe:
+    """Add a recipe to :data:`REPORT_RECIPES` (name collisions raise)."""
+    if recipe.name in REPORT_RECIPES:
+        raise ValueError(f"report recipe {recipe.name!r} already registered")
+    REPORT_RECIPES[recipe.name] = recipe
+    return recipe
+
+
+register_recipe(ReportRecipe(
+    name="paper-overhead",
+    title="read-bit overhead per protocol x topology (paper SS5)",
+    group_by=("protocol", "topology"),
+    metrics=("max_bits_per_step", "total_bits", "k_efficiency"),
+))
+register_recipe(ReportRecipe(
+    name="paper-stabilization",
+    title="stabilization cost per protocol x topology x daemon",
+    group_by=("protocol", "topology", "scheduler"),
+    metrics=("rounds", "steps"),
+    precision=2,
+))
+register_recipe(ReportRecipe(
+    name="paper-recovery",
+    title="fault recovery per protocol x scenario",
+    group_by=("protocol", "scenario"),
+    metrics=("availability", "mean_recovery_rounds", "post_fault_bits"),
+))
+
+
+def recipe_rows(
+    groups: Sequence[GroupStats],
+    recipe: ReportRecipe,
+) -> List[List[Any]]:
+    """Fold query groups into recipe rows: axis cells, trial count,
+    then one ``mean ± CI95`` cell per measure."""
+    rows: List[List[Any]] = []
+    for g in groups:
+        row: List[Any] = [
+            "-" if g.group.get(col) is None else g.group[col]
+            for col in recipe.group_by
+        ]
+        row.append(g.count)
+        for metric in recipe.metrics:
+            agg = g.aggregates[metric]
+            row.append(f"{_fmt(agg.mean, recipe.precision)} "
+                       f"± {_fmt(agg.ci95, recipe.precision)}")
+        rows.append(row)
+    return rows
+
+
+def recipe_table(
+    store: Any,
+    name: str,
+    run_id: Optional[str] = None,
+    markdown: bool = False,
+) -> str:
+    """Render one named recipe against a store run.
+
+    Unknown names raise with the known ones listed — a typo'd recipe
+    must not render as an empty table.
+    """
+    if name not in REPORT_RECIPES:
+        raise ValueError(
+            f"unknown report recipe {name!r}; known: "
+            f"{sorted(REPORT_RECIPES)}"
+        )
+    recipe = REPORT_RECIPES[name]
+    groups = store.query(
+        metrics=recipe.metrics,
+        where=recipe.where or None,
+        group_by=recipe.group_by,
+        run_id=run_id,
+    )
+    headers = list(recipe.group_by) + ["trials"] + [
+        f"{m} (mean ± 95%)" for m in recipe.metrics
+    ]
+    return format_table(headers, recipe_rows(groups, recipe),
+                        title=recipe.title, markdown=markdown)

@@ -31,6 +31,7 @@ round-trips back into :class:`~repro.api.ExperimentSpec` /
 
 from __future__ import annotations
 
+import calendar
 import json
 import os
 import sqlite3
@@ -139,6 +140,11 @@ def _now_iso() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
+def iso_to_epoch(stamp: str) -> float:
+    """Parse a ``runs.created_at`` ISO-8601 UTC stamp to epoch seconds."""
+    return float(calendar.timegm(time.strptime(stamp, "%Y-%m-%dT%H:%M:%SZ")))
+
+
 @dataclass(frozen=True)
 class RunInfo:
     """One row of the ``runs`` table: provenance of a stored campaign."""
@@ -151,6 +157,11 @@ class RunInfo:
     python: Optional[str]
     wall_time_s: Optional[float]
     trials: int
+
+    def age_s(self, now: Optional[float] = None) -> float:
+        """Seconds since this run was created (``repro prune`` ages)."""
+        now = time.time() if now is None else now
+        return now - iso_to_epoch(self.created_at)
 
 
 @dataclass(frozen=True)
@@ -394,6 +405,33 @@ class ResultStore:
         self.finish_run(run_id, time.perf_counter() - t0)
         return run_id, count
 
+    def ingest_store(
+        self,
+        path: Union[str, os.PathLike],
+        src_run_id: Optional[str] = None,
+        run_id: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> Tuple[str, int]:
+        """Merge one run of another store into a run of this store.
+
+        The sqlite twin of :meth:`ingest_jsonl` — and the merge path of
+        the campaign fabric, which streams per-shard stores back into
+        the canonical one.  ``src_run_id`` defaults to the source's
+        latest run; ``run_id`` defaults to a fresh run here.  Rows
+        stream batch by batch (bounded memory) and duplicate keys are
+        last-writer-wins, exactly like every other ingest.
+        """
+        with ResultStore(path, create=False) as src:
+            src_run = src._resolve_run(src_run_id)
+            run_id = self.begin_run(
+                run_id=run_id,
+                label=label or os.path.basename(os.fspath(path)),
+            )
+            t0 = time.perf_counter()
+            count = self.write_many(run_id, src.raw_trials(src_run))
+        self.finish_run(run_id, time.perf_counter() - t0)
+        return run_id, count
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
@@ -419,6 +457,33 @@ class ResultStore:
                 "SELECT key FROM trials WHERE run_id = ?", (run_id,)
             )
         }
+
+    def pending_keys(self, run_id: str, keys: Iterable[str]) -> List[str]:
+        """Order-preserving subset of ``keys`` not yet stored in ``run_id``.
+
+        The fabric's claim surface: a worker (or the coordinator
+        requeueing a dead worker's shard) claims exactly the keys the
+        store has not committed — completed work is never re-run.
+        """
+        done = self.completed_keys(run_id)
+        return [key for key in keys if key not in done]
+
+    def raw_trials(
+        self, run_id: Optional[str] = None,
+    ) -> Iterator[Tuple[str, Dict[str, Any], Dict[str, Any]]]:
+        """Stream a run's ``(key, spec dict, result dict)`` rows.
+
+        Insertion order, one row at a time — the exact record shape
+        :meth:`write_many` consumes, so store-to-store merges
+        (:meth:`ingest_store`) round-trip without re-deriving anything.
+        """
+        run_id = self._resolve_run(run_id)
+        cursor = self._conn.execute(
+            "SELECT key, spec, result FROM trials WHERE run_id = ? "
+            "ORDER BY rowid", (run_id,),
+        )
+        for key, spec_blob, result_blob in cursor:
+            yield key, json.loads(spec_blob), json.loads(result_blob)
 
     def iter_results(self, run_id: Optional[str] = None) -> Iterator[Tuple]:
         """Stream a run back as ``(ExperimentSpec, TrialResult)`` pairs.
@@ -543,6 +608,67 @@ class ResultStore:
                 columns[metric].append(0.0 if value is None else float(value))
         flush()
         return out
+
+    # ------------------------------------------------------------------
+    # Retention (repro prune)
+    # ------------------------------------------------------------------
+    def latest_run_ids_by_label(self) -> Dict[Optional[str], str]:
+        """The newest run id (by insertion) of every distinct label.
+
+        A label is the store's grid identity — campaigns and fabric
+        runs stamp one per grid — so "the latest run of each label" is
+        the set of rows every comparison baseline still needs.
+        """
+        latest: Dict[Optional[str], str] = {}
+        for info in self.runs():  # oldest first; later rows overwrite
+            latest[info.label] = info.run_id
+        return latest
+
+    def delete_run(self, run_id: str) -> int:
+        """Drop one run and its trials; returns the trial count dropped.
+
+        Low-level: no protection checks — use :meth:`prune` for the
+        guarded path.  Unknown ids raise.
+        """
+        run_id = self._resolve_run(run_id)
+        count = self.trial_count(run_id)
+        self._conn.execute("DELETE FROM trials WHERE run_id = ?", (run_id,))
+        self._conn.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+        self._conn.commit()
+        return count
+
+    def vacuum(self) -> None:
+        """Reclaim the space deleted runs leave behind (``VACUUM``)."""
+        self._conn.commit()
+        self._conn.execute("VACUUM")
+
+    def prune(
+        self,
+        run_ids: Sequence[str],
+        force: bool = False,
+        vacuum: bool = True,
+    ) -> Dict[str, int]:
+        """Drop superseded runs, guarding the latest of every label.
+
+        Refuses (``ValueError``) when the selection includes the newest
+        run of any label unless ``force`` — pruning a grid's only
+        up-to-date baseline is almost always a mistake.  Returns
+        ``run_id -> trials dropped`` and, by default, vacuums once at
+        the end.
+        """
+        run_ids = list(dict.fromkeys(run_ids))  # dedup, keep order
+        _ = [self._resolve_run(run_id) for run_id in run_ids]  # loud typos
+        protected = set(self.latest_run_ids_by_label().values())
+        blocked = [r for r in run_ids if r in protected]
+        if blocked and not force:
+            raise ValueError(
+                f"refusing to prune the latest run of a label: {blocked} "
+                f"(pass force=True / --force to override)"
+            )
+        dropped = {run_id: self.delete_run(run_id) for run_id in run_ids}
+        if dropped and vacuum:
+            self.vacuum()
+        return dropped
 
     # ------------------------------------------------------------------
     # Benchmark trajectories

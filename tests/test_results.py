@@ -591,7 +591,7 @@ class TestWarehouseCli:
     def test_bad_where_is_a_clean_error(self, tmp_path, campaign):
         store = tmp_path / "w.sqlite"
         campaign.run(out=store, sink="sqlite")
-        with pytest.raises(SystemExit, match="bad --where"):
+        with pytest.raises(SystemExit, match="bad (--)?where"):
             main(["query", "--store", str(store), "--where", "protocol"])
 
     def test_compare_runs_detects_doctored_regression(self, tmp_path,
@@ -782,3 +782,225 @@ class TestDiff:
             first, last = traj[0], traj[-1]
             rows = diff_bench(first, last, threshold=0.25)
             assert gate(rows)  # throughput doubled: an improvement
+
+
+# ----------------------------------------------------------------------
+# Retention: repro prune (latest-of-label guarded)
+# ----------------------------------------------------------------------
+class TestPrune:
+    def _store_with_runs(self, tmp_path, campaign):
+        path = tmp_path / "w.sqlite"
+        for run_id in ("old", "mid", "new"):
+            campaign.run(out=path, sink="sqlite", run_id=run_id)
+        return path
+
+    def test_latest_of_label_is_protected(self, tmp_path, campaign):
+        path = self._store_with_runs(tmp_path, campaign)
+        with ResultStore(path) as store:
+            # All three runs share label None; "new" is its latest.
+            with pytest.raises(ValueError, match="latest run of a label"):
+                store.prune(["new"])
+            dropped = store.prune(["old", "mid"])
+            assert dropped == {"old": len(campaign), "mid": len(campaign)}
+            assert [r.run_id for r in store.runs()] == ["new"]
+
+    def test_force_overrides_protection(self, tmp_path, campaign):
+        path = self._store_with_runs(tmp_path, campaign)
+        with ResultStore(path) as store:
+            store.prune(["new"], force=True)
+            assert {r.run_id for r in store.runs()} == {"old", "mid"}
+
+    def test_unknown_run_is_loud(self, tmp_path, campaign):
+        path = self._store_with_runs(tmp_path, campaign)
+        with ResultStore(path) as store:
+            with pytest.raises(ValueError, match="ghost"):
+                store.prune(["ghost"])
+
+    def test_prune_reclaims_file_space(self, tmp_path, campaign):
+        path = self._store_with_runs(tmp_path, campaign)
+        before = path.stat().st_size
+        with ResultStore(path) as store:
+            store.prune(["old", "mid"], vacuum=True)
+        assert path.stat().st_size <= before
+
+    def test_cli_prune_by_id_age_and_dry_run(self, tmp_path, campaign,
+                                             capsys):
+        path = self._store_with_runs(tmp_path, campaign)
+        rc = main(["prune", "--store", str(path), "--dry-run",
+                   "--runs", "old"])
+        assert rc == 0
+        assert "would prune 'old'" in capsys.readouterr().out
+        with ResultStore(path) as store:  # dry run touched nothing
+            assert len(store.runs()) == 3
+        rc = main(["prune", "--store", str(path), "--runs", "old", "mid"])
+        assert rc == 0
+        assert "2 runs" in capsys.readouterr().out
+        # Every run is younger than 1 day -> age selection is empty.
+        rc = main(["prune", "--store", str(path), "--older-than", "1"])
+        assert rc == 0
+        assert "nothing to prune" in capsys.readouterr().out
+
+    def test_cli_prune_blocks_latest_without_force(self, tmp_path,
+                                                   campaign):
+        path = self._store_with_runs(tmp_path, campaign)
+        with pytest.raises(SystemExit, match="latest run of a label"):
+            main(["prune", "--store", str(path), "--runs", "new"])
+        assert main(["prune", "--store", str(path), "--runs", "new",
+                     "--force"]) == 0
+
+
+# ----------------------------------------------------------------------
+# Canned paper tables: repro report --recipe
+# ----------------------------------------------------------------------
+class TestReportRecipes:
+    def test_registry_names(self):
+        from repro.results import REPORT_RECIPES
+        assert {"paper-overhead", "paper-stabilization",
+                "paper-recovery"} <= set(REPORT_RECIPES)
+
+    def test_paper_overhead_table_shape(self, tmp_path, campaign):
+        from repro.results import recipe_table
+        path = tmp_path / "w.sqlite"
+        campaign.run(out=path, sink="sqlite")
+        with ResultStore(path, create=False) as store:
+            table = recipe_table(store, "paper-overhead")
+        header = table.splitlines()[1]
+        for column in ("protocol", "topology",
+                       "max_bits_per_step (mean ± 95%)"):
+            assert column in header
+        # One row per protocol x topology cell of the grid.
+        assert "coloring" in table and "mis" in table
+
+    def test_unknown_recipe_lists_known(self, tmp_path, campaign):
+        from repro.results import recipe_table
+        path = tmp_path / "w.sqlite"
+        campaign.run(out=path, sink="sqlite")
+        with ResultStore(path, create=False) as store:
+            with pytest.raises(ValueError, match="paper-overhead"):
+                recipe_table(store, "nope")
+
+    def test_register_recipe_collision_refused(self):
+        from repro.results import ReportRecipe, register_recipe
+        with pytest.raises(ValueError, match="already registered"):
+            register_recipe(ReportRecipe(
+                name="paper-overhead", title="dup",
+                group_by=("protocol",), metrics=("rounds",)))
+
+    def test_cli_recipe_and_list(self, tmp_path, campaign, capsys):
+        path = tmp_path / "w.sqlite"
+        campaign.run(out=path, sink="sqlite")
+        rc = main(["report", "--store", str(path),
+                   "--recipe", "paper-overhead", "--markdown"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("**") and "| protocol |" in out
+        rc = main(["report", "--list-recipes"])
+        assert rc == 0
+        assert "paper-overhead" in capsys.readouterr().out
+        with pytest.raises(SystemExit, match="paper-stabilization"):
+            main(["report", "--store", str(path), "--recipe", "nope"])
+
+
+# ----------------------------------------------------------------------
+# Store-to-store ingest and the claim surface
+# ----------------------------------------------------------------------
+class TestIngestStore:
+    def test_ingest_store_round_trip(self, tmp_path, campaign):
+        src = tmp_path / "src.sqlite"
+        campaign.run(out=src, sink="sqlite", run_id="a")
+        with ResultStore(tmp_path / "dst.sqlite") as dst:
+            run_id, count = dst.ingest_store(src, src_run_id="a",
+                                             run_id="merged")
+            assert (run_id, count) == ("merged", len(campaign))
+            src_rows = None
+        with ResultStore(src, create=False) as s:
+            src_rows = {k: r for k, _spec, r in s.raw_trials("a")}
+        with ResultStore(tmp_path / "dst.sqlite", create=False) as dst:
+            dst_rows = {k: r for k, _spec, r in dst.raw_trials("merged")}
+        assert dst_rows == src_rows
+
+    def test_cli_ingest_autodetects_mixed_sources(self, tmp_path,
+                                                  campaign, capsys):
+        jsonl = tmp_path / "trials.jsonl"
+        half_a = Campaign(campaign.specs[:3])
+        half_b = Campaign(campaign.specs[3:])
+        half_a.run(out=jsonl)  # jsonl sink
+        sqlite_src = tmp_path / "half.sqlite"
+        half_b.run(out=sqlite_src, sink="sqlite", run_id="b")
+        store = tmp_path / "merged.sqlite"
+        rc = main(["ingest", str(jsonl), str(sqlite_src),
+                   "--store", str(store), "--run", "all"])
+        assert rc == 0
+        assert capsys.readouterr().out.count("ingested") == 2
+        with ResultStore(store, create=False) as merged:
+            assert merged.trial_count("all") == len(campaign)
+
+    def test_pending_keys_orders_and_filters(self, tmp_path, campaign):
+        path = tmp_path / "w.sqlite"
+        with ResultStore(path) as store:
+            store.begin_run(run_id="r")
+            keys = [s.key() for s in campaign.specs]
+            assert store.pending_keys("r", keys) == keys
+            spec = campaign.specs[2]
+            store.write("r", spec.key(), spec.to_dict(),
+                        spec.run().to_dict())
+            pending = store.pending_keys("r", keys)
+            assert pending == [k for k in keys if k != spec.key()]
+
+
+# ----------------------------------------------------------------------
+# Store-backed bench gate: compare --bench-store
+# ----------------------------------------------------------------------
+class TestBenchStoreGate:
+    def _record(self, path, value):
+        with ResultStore(path) as store:
+            store.record_bench("BENCH_3", "tiny",
+                               {"hot_loop": {"x": value}})
+
+    def test_single_emission_passes_as_no_baseline(self, tmp_path,
+                                                   capsys):
+        path = tmp_path / "bench.sqlite"
+        self._record(path, 100.0)
+        rc = main(["compare", "--bench-store", str(path),
+                   "--mode", "tiny"])
+        assert rc == 0
+        assert "no baseline yet" in capsys.readouterr().out
+
+    def test_gates_newest_against_previous(self, tmp_path, capsys):
+        path = tmp_path / "bench.sqlite"
+        self._record(path, 100.0)
+        self._record(path, 95.0)  # within the 25% default
+        assert main(["compare", "--bench-store", str(path),
+                     "--mode", "tiny"]) == 0
+        capsys.readouterr()
+        self._record(path, 10.0)  # collapse -> regression
+        assert main(["compare", "--bench-store", str(path),
+                     "--mode", "tiny"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_gate_compares_last_two_only(self, tmp_path):
+        # The old regression dropping out of the window must not keep
+        # failing the gate forever.
+        path = tmp_path / "bench.sqlite"
+        for value in (100.0, 10.0, 10.5):
+            self._record(path, value)
+        assert main(["compare", "--bench-store", str(path),
+                     "--mode", "tiny"]) == 0
+
+    def test_bench_engine_store_flag_records(self, tmp_path):
+        import subprocess, sys, os
+        env = os.environ.copy()
+        src_root = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        bench = os.path.join(os.path.dirname(src_root),
+                             "benchmarks", "bench_engine.py")
+        path = tmp_path / "bench.sqlite"
+        proc = subprocess.run(
+            [sys.executable, bench, "--tiny", "--budget", "0.02",
+             "--no-json", "--store", str(path)],
+            env=env, cwd=tmp_path, capture_output=True, timeout=300)
+        assert proc.returncode == 0, proc.stdout.decode()
+        with ResultStore(path, create=False) as store:
+            assert len(store.bench_trajectory("BENCH_3", "tiny")) == 1
+            assert len(store.bench_trajectory("BENCH_4", "tiny")) == 1
