@@ -21,12 +21,19 @@ The 10k-node scale tier.  Two families of measurements:
   scenario-free run.  Asserts the scenario machinery keeps a generous
   fraction of the plain hot-loop throughput, and that events actually
   fired.
+* **Batch (columnar) engine** — the PR-7 gate: 10k-node synchronous
+  COLORING under the aggregate tier, ``engine="batch"`` versus the
+  scalar incremental loop, asserting ≥5x at full scale (a generous
+  ≥1.5x in the ``--tiny`` smoke), plus a 1M-process sparse-topology
+  tier (batch only — the scalar loop would take minutes per step)
+  reporting steps/sec and process-activations/sec.
 
 Every run (pytest or script) appends machine-readable results to
 ``BENCH_3.json`` at the repo root — steps/sec per topology × protocol
-× engine × metrics tier plus the hot-loop ratio — and the scenario
-case to ``BENCH_4.json``; both are keyed by mode (``full`` / ``tiny``)
-so CI smoke numbers never shadow scale-tier ones.
+× engine × metrics tier plus the hot-loop ratio — the scenario case to
+``BENCH_4.json``, and the batch-engine case (with the 1M-node tier at
+full scale) to ``BENCH_5.json``; all are keyed by mode (``full`` /
+``tiny``) so CI smoke numbers never shadow scale-tier ones.
 
 Run as a pytest bench::
 
@@ -78,6 +85,24 @@ MIN_FLAT_SPEEDUP_TINY = 1.3
 
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_3.json"
 BENCH4_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_4.json"
+BENCH5_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_5.json"
+
+#: PR-7 acceptance floor: the columnar batch engine over the scalar
+#: incremental loop on 10k-node synchronous coloring, aggregate tier
+MIN_BATCH_SPEEDUP = 5.0
+
+#: generous --tiny floor (and a larger-than-TINY_N size below): column
+#: setup amortizes over n, so the smoke runs at BATCH_TINY_N processes
+#: where vectorization already clearly wins without flaking on loaded
+#: CI runners
+MIN_BATCH_SPEEDUP_TINY = 1.5
+BATCH_TINY_N = 600
+
+#: the 1M-process sparse tier (full mode only): batch engine only —
+#: one synchronous step touches every process, so a handful of steps
+#: is enough for a stable rate
+MILLION_N = 1_000_000
+MILLION_STEPS = 5
 
 #: generous floors for the churn+recovery scenario case: the scenario
 #: run (periodic corruption + topology churn + recovery tracking —
@@ -257,12 +282,91 @@ def write_bench4_json(mode: str, n: int, budget_s: float,
 
 def identical_prefix(protocol: str, topology: str, params: Dict,
                      steps: int = 50) -> bool:
-    """Cheap determinism guard: both engines replay the same steps."""
+    """Cheap determinism guard: all engines replay the same steps."""
     runs = []
-    for engine in ("incremental", "scan"):
+    for engine in ("incremental", "scan", "batch"):
         sim = build_spec(protocol, topology, params, engine).build_simulator()
         runs.append([sim.step() for _ in range(steps)])
-    return runs[0] == runs[1]
+    return all(run == runs[0] for run in runs[1:])
+
+
+def measure_batch(n: int, budget_s: float) -> Dict[str, float]:
+    """The PR-7 acceptance pair: synchronous COLORING at ``n``
+    processes, aggregate tier, scalar incremental loop vs the columnar
+    batch engine.  Returns both rates plus the speedup."""
+    def build(engine):
+        return ExperimentSpec(
+            protocol="coloring", topology="ring", topology_params={"n": n},
+            scheduler="synchronous", seed=1, engine=engine,
+            metrics="aggregate",
+        ).build_simulator()
+
+    rates = {
+        engine: time_stepping(build(engine), budget_s)
+        for engine in ("incremental", "batch")
+    }
+    rates["speedup"] = rates["batch"] / rates["incremental"]
+    return rates
+
+
+def measure_million(n: int = MILLION_N,
+                    steps: int = MILLION_STEPS) -> Dict[str, float]:
+    """The 1M-process sparse tier: batch-only synchronous COLORING.
+
+    Every step activates all ``n`` processes, so the per-step rate is
+    stable after very few steps; reports steps/sec and the derived
+    process-activations/sec (the number the paper-scale claim is
+    about).  Build time is reported separately — constructing the
+    million-node sparse graph dominates wall time, not stepping.
+    """
+    t0 = time.perf_counter()
+    sim = ExperimentSpec(
+        protocol="coloring", topology="sparse",
+        topology_params={"n": n, "avg_degree": 3.0, "seed": 7},
+        scheduler="synchronous", seed=1, engine="batch",
+        metrics="aggregate",
+    ).build_simulator()
+    build_s = time.perf_counter() - t0
+    sim.step()  # warm the column store outside the timed window
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        sim.step()
+    elapsed = time.perf_counter() - t0
+    rate = steps / elapsed
+    return {
+        "n": float(n),
+        "steps_timed": float(steps),
+        "build_s": build_s,
+        "steps_per_sec": rate,
+        "activations_per_sec": rate * n,
+    }
+
+
+def write_bench5_json(mode: str, n: int, budget_s: float,
+                      batch: Dict[str, float],
+                      million: Dict[str, float] = None) -> None:
+    """Merge the batch-engine case into ``BENCH_5.json`` (repo root),
+    keyed by mode exactly like :func:`write_bench_json`."""
+    payload: Dict = {}
+    if BENCH5_JSON.exists():
+        try:
+            payload = json.loads(BENCH5_JSON.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            payload = {}
+    section = {
+        "n": n,
+        "budget_s": budget_s,
+        "batch_vs_incremental": {k: round(v, 3) for k, v in batch.items()},
+    }
+    if million is not None:
+        section["million_sparse"] = {
+            k: round(v, 3) for k, v in million.items()
+        }
+    payload[mode] = section
+    BENCH5_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 def _speedup_rows(grid: List[Dict]) -> List[List]:
@@ -399,6 +503,32 @@ def test_scenario_churn_recovery(tiny):
     assert result["ratio"] >= floor
 
 
+def test_batch_engine_speedup(tiny):
+    """PR-7 gate: the columnar batch engine ≥5x the scalar incremental
+    loop on 10k-node synchronous coloring (≥1.5x at smoke sizes), with
+    the 1M-process sparse tier completing at full scale."""
+    n = BATCH_TINY_N if tiny else FULL_N
+    budget = TINY_BUDGET_S if tiny else FULL_BUDGET_S
+    rates = measure_batch(n, budget)
+    million = None if tiny else measure_million()
+    write_bench5_json("tiny" if tiny else "full", n, budget, rates, million)
+    print(
+        f"\nbatch engine, n={n} (synchronous coloring, aggregate tier): "
+        f"incremental {rates['incremental']:,.1f} steps/s, "
+        f"batch {rates['batch']:,.1f} steps/s "
+        f"({rates['speedup']:.2f}x)"
+    )
+    if million is not None:
+        print(
+            f"1M sparse tier: {million['steps_per_sec']:.2f} steps/s "
+            f"({million['activations_per_sec']:,.0f} activations/s, "
+            f"build {million['build_s']:.1f}s)"
+        )
+        assert million["steps_per_sec"] > 0
+    floor = MIN_BATCH_SPEEDUP_TINY if tiny else MIN_BATCH_SPEEDUP
+    assert rates["speedup"] >= floor
+
+
 # ----------------------------------------------------------------------
 # Script entry point
 # ----------------------------------------------------------------------
@@ -426,10 +556,14 @@ def main(argv=None) -> int:
     grid = measure_grid(n, budget)
     hot = measure_hot_loop(n, budget)
     scenario = measure_scenario(n, budget)
+    batch_n = BATCH_TINY_N if args.tiny else n
+    batch = measure_batch(batch_n, budget)
+    million = None if args.tiny else measure_million()
     mode = "tiny" if args.tiny else "full"
     if not args.no_json:
         write_bench_json(mode, n, budget, grid=grid, hot_loop=hot)
         write_bench4_json(mode, n, budget, scenario)
+        write_bench5_json(mode, batch_n, budget, batch, million)
     if args.store:
         from repro.results import ResultStore
 
@@ -443,6 +577,15 @@ def main(argv=None) -> int:
                 "churn_recovery": {k: round(v, 3)
                                    for k, v in scenario.items()},
             })
+            bench5 = {
+                "n": batch_n, "budget_s": budget,
+                "batch_vs_incremental": {k: round(v, 3)
+                                         for k, v in batch.items()},
+            }
+            if million is not None:
+                bench5["million_sparse"] = {k: round(v, 3)
+                                            for k, v in million.items()}
+            store.record_bench("BENCH_5", mode, bench5)
         print(f"bench trajectories appended to {args.store}")
     print(f"engine grid at n={n}, {budget:.2f}s per cell:")
     for row in grid:
@@ -475,12 +618,24 @@ def main(argv=None) -> int:
           f"{scenario['scenario']:>12,.1f} steps/s "
           f"({scenario['ratio']:.2f}x, "
           f"{scenario['events_applied']:.0f} events)")
+    print(f"batch engine (synchronous coloring, n={batch_n}, aggregate):")
+    print(f"  scalar incremental                    "
+          f"{batch['incremental']:>12,.1f} steps/s")
+    print(f"  columnar batch                        "
+          f"{batch['batch']:>12,.1f} steps/s ({batch['speedup']:.2f}x)")
+    if million is not None:
+        print(f"  1M sparse tier (batch only)           "
+              f"{million['steps_per_sec']:>12,.2f} steps/s "
+              f"({million['activations_per_sec']:,.0f} activations/s)")
     flat_ok = hot["speedup_aggregate"] >= (
         MIN_FLAT_SPEEDUP_TINY if args.tiny else MIN_FLAT_SPEEDUP
     )
     scenario_ok = scenario["ratio"] >= (
         MIN_SCENARIO_RATIO_TINY if args.tiny else MIN_SCENARIO_RATIO
     ) and scenario["events_applied"] >= 1
+    batch_ok = batch["speedup"] >= (
+        MIN_BATCH_SPEEDUP_TINY if args.tiny else MIN_BATCH_SPEEDUP
+    )
     if not args.tiny and not ring_ok:
         print(f"FAIL: ring speedup below the {MIN_SPEEDUP}x floor")
         return 1
@@ -489,6 +644,9 @@ def main(argv=None) -> int:
         return 1
     if not scenario_ok:
         print("FAIL: churn+recovery scenario below its throughput floor")
+        return 1
+    if not batch_ok:
+        print("FAIL: batch engine below its speedup floor")
         return 1
     return 0
 

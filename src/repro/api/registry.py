@@ -16,7 +16,9 @@ from a ``(name, params)`` pair so that a whole campaign is plain data
   ``enabled_only=True`` as a parameter;
 * **engines** — builders ``(**params) -> EnabledSetEngine`` for the
   enabled-set maintenance strategies of :mod:`repro.core.engine`
-  (``incremental``, ``scan``, ``debug``).
+  (``incremental``, ``scan``, ``debug``) and the columnar batch
+  engine of :mod:`repro.core.batchengine` (``batch``,
+  ``batch-debug``).
 
 Metrics tiers (``full`` | ``aggregate`` | ``off``) are deliberately
 *not* a registry: they are a closed three-value knob on
@@ -43,6 +45,7 @@ from __future__ import annotations
 import inspect
 from typing import Callable, Dict, Iterator, List
 
+from ..core.batchengine import BatchCrossCheckEngine, BatchEngine
 from ..core.engine import CrossCheckEngine, IncrementalEngine, ScanEngine
 from ..core.scheduler import (
     BoundedFairScheduler,
@@ -288,3 +291,13 @@ def _scan_engine():
 @register_engine("debug")
 def _debug_engine():
     return CrossCheckEngine()
+
+
+@register_engine("batch")
+def _batch_engine():
+    return BatchEngine()
+
+
+@register_engine("batch-debug")
+def _batch_debug_engine():
+    return BatchCrossCheckEngine()

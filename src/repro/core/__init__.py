@@ -8,6 +8,13 @@ O(Δ·activated) per step instead of a full O(n·Δ) rescan.
 """
 
 from .actions import GuardedAction, first_enabled
+from .batchengine import (
+    BatchCrossCheckEngine,
+    BatchEngine,
+    BatchKernel,
+    register_batch_kernel,
+)
+from .columns import ColumnStore
 from .context import StepContext, StepContextPool
 from .engine import (
     ENGINE_NAMES,
@@ -64,8 +71,12 @@ from .variables import (
 
 __all__ = [
     "BOOL",
+    "BatchCrossCheckEngine",
+    "BatchEngine",
+    "BatchKernel",
     "BoundedFairScheduler",
     "CentralScheduler",
+    "ColumnStore",
     "Configuration",
     "ConvergenceError",
     "CrossCheckEngine",
@@ -118,6 +129,7 @@ __all__ = [
     "make_engine",
     "make_scheduler",
     "record_run",
+    "register_batch_kernel",
     "verify_replay",
     "silence_witness",
 ]

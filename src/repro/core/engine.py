@@ -50,7 +50,10 @@ ProcessId = Hashable
 
 #: Engine names accepted by :func:`make_engine` (and the registry /
 #: CLI / :class:`~repro.api.ExperimentSpec` layers built on top of it).
-ENGINE_NAMES = ("incremental", "scan", "debug")
+#: ``batch`` / ``batch-debug`` live in :mod:`repro.core.batchengine`
+#: (columnar whole-step execution with a scalar fallback) and are
+#: resolved lazily to keep this module import-light.
+ENGINE_NAMES = ("incremental", "scan", "debug", "batch", "batch-debug")
 
 
 class EnabledSetEngine(ABC):
@@ -397,10 +400,16 @@ def make_engine(engine: "str | EnabledSetEngine" = "incremental") -> EnabledSetE
     """
     if isinstance(engine, EnabledSetEngine):
         return engine
+    if engine in ("batch", "batch-debug") and engine not in _ENGINES:
+        # Deferred: batchengine imports this module for the ABC.
+        from .batchengine import BatchCrossCheckEngine, BatchEngine
+
+        _ENGINES[BatchEngine.name] = BatchEngine
+        _ENGINES[BatchCrossCheckEngine.name] = BatchCrossCheckEngine
     try:
         cls = _ENGINES[engine]
     except (KeyError, TypeError):
         raise ValueError(
-            f"unknown engine {engine!r}; known: {sorted(_ENGINES)}"
+            f"unknown engine {engine!r}; known: {sorted(ENGINE_NAMES)}"
         ) from None
     return cls()

@@ -58,6 +58,13 @@ class Scheduler(ABC):
     #: (engine-maintained; see the module docstring).
     draws_from: str = "all"
 
+    #: Whether :meth:`select` can never return the same process twice
+    #: within one step.  Every daemon here selects subsets except the
+    #: fixed-sequence one, whose scripts may repeat a pid; schedulers
+    #: that can repeat must set this ``False`` so the batch step path
+    #: (which folds each selected process exactly once) steps aside.
+    selects_distinct: bool = True
+
     @abstractmethod
     def select(self, processes: Sequence[ProcessId], rng: random.Random) -> List[ProcessId]:
         """A non-empty subset of ``processes`` to activate this step."""
@@ -204,6 +211,7 @@ class FixedSequenceScheduler(Scheduler):
     """
 
     name = "fixed-sequence"
+    selects_distinct = False  # a scripted step may repeat a pid
 
     def __init__(self, sequence: Sequence[Sequence[ProcessId]]):
         self._sequence = [list(s) for s in sequence]

@@ -189,13 +189,22 @@ class Simulator:
         # builds a fresh list per call, far too expensive per step.
         self._processes = tuple(network.processes)
         self.round_tracker = RoundTracker(self._processes)
-        self.metrics = MetricsCollector(
+        self._metrics = MetricsCollector(
             self._processes, keep_records=keep_records
         )
         self.step_index = 0
         self.engine = make_engine("scan" if full_scan else engine)
         self.engine.bind(protocol, network, self.config, self.specs_of)
+        # Batch-capable engines accumulate aggregate counts in vectors;
+        # the ``metrics`` property drains them before any external read.
+        self._metrics_flush = getattr(
+            self.engine, "flush_pending_metrics", None
+        )
         self._enabled_pool = self.scheduler.draws_from == "enabled"
+        self._sched_distinct = getattr(
+            self.scheduler, "selects_distinct", False
+        )
+        self._derive_batch()
         # Pooled contexts power the flat hot path; the legacy backend
         # keeps the historical one-context-per-activation allocation so
         # it stays a faithful baseline.
@@ -213,6 +222,35 @@ class Simulator:
         self.scenario_runtime = None
         if scenario is not None:
             self.install_scenario(scenario)
+
+    # ------------------------------------------------------------------
+    # Metrics access
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> MetricsCollector:
+        """The run's metrics collector.
+
+        A batch engine folds aggregate-tier counts into engine-side
+        vectors between reads; accessing the collector through this
+        property drains them first, so external readers (summaries,
+        scenario hooks, the warehouse) always see exact totals.
+        """
+        flush = self._metrics_flush
+        if flush is not None:
+            flush()
+        return self._metrics
+
+    def _derive_batch(self) -> None:
+        """Route the step loop through the engine's batch path when the
+        engine is batch-capable *and* currently active (flat state with
+        a registered kernel; re-derived after every engine rebind)."""
+        engine = self.engine
+        self._batch = (
+            engine
+            if self.state_backend == "flat"
+            and getattr(engine, "batch_active", False)
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Configuration access
@@ -243,6 +281,7 @@ class Simulator:
                 self.network, new_config, self.specs_of
             )
         self.engine.rebind_config(new_config)
+        self._derive_batch()
         if self.scenario_runtime is not None:
             self.scenario_runtime.silence_cache = None
 
@@ -281,6 +320,7 @@ class Simulator:
         scheduler.reset()
         self.scheduler = scheduler
         self._enabled_pool = scheduler.draws_from == "enabled"
+        self._sched_distinct = getattr(scheduler, "selects_distinct", False)
 
     def rebind_network(self, network, rng=None) -> None:
         """Adopt a mutated topology mid-run (scenario churn events).
@@ -349,6 +389,7 @@ class Simulator:
         if self._ctx_pool is not None:
             self._ctx_pool = StepContextPool(network, config, specs_of)
         self.engine.rebind_network(protocol, network, config, specs_of)
+        self._derive_batch()
         self.scheduler.rebind_network(network)
         if self.scenario_runtime is not None:
             self.scenario_runtime.silence_cache = None
@@ -389,6 +430,12 @@ class Simulator:
         selected = self.scheduler.select(pool, self.rngs.scheduler)
         if not selected:
             raise ConvergenceError("scheduler selected an empty set")
+
+        batch = self._batch
+        if batch is not None and (
+            self._sched_distinct or len(set(selected)) == len(selected)
+        ):
+            return self._batch_step(batch, selected, runtime)
 
         executions = []
         append = executions.append
@@ -459,12 +506,46 @@ class Simulator:
                 bits_read={p: ctx.bits_read for p, ctx, _ in executions},
                 closed_round=closed,
             )
-            self.metrics.record(record)
+            self._metrics.record(record)
             if runtime is not None:
                 runtime.after_step(self, closed)
             return record
         if tier == "aggregate":
-            self.metrics.record_lean(executions, closed)
+            self._metrics.record_lean(executions, closed)
+        if runtime is not None:
+            runtime.after_step(self, closed)
+        return LeanStepRecord(index, len(selected), closed)
+
+    def _batch_step(self, engine, selected, runtime):
+        """One whole step evaluated over columns.
+
+        Reached only when the bound engine reports ``batch_active`` and
+        the selection is duplicate-free (scripted daemons may repeat a
+        pid; such steps take the scalar loop instead).  Produces the
+        same γi+1, the same records, and the same metrics folds as the
+        scalar path — bit for bit — just without per-process contexts.
+        """
+        action_rng = self.rngs.protocol if self.protocol.randomized else None
+        outcome = engine.execute_step(selected, action_rng)
+
+        if self._enabled_pool:
+            closed = self.round_tracker.record_step(
+                selected, still_enabled=engine.enabled_view()
+            )
+        else:
+            closed = self.round_tracker.record_step(selected)
+
+        index = self.step_index
+        self.step_index = index + 1
+        tier = self.metrics_tier
+        if tier == "full":
+            record = engine.make_step_record(index, outcome, closed)
+            self._metrics.record(record)
+            if runtime is not None:
+                runtime.after_step(self, closed)
+            return record
+        if tier == "aggregate":
+            engine.fold_aggregate(outcome, self._metrics, closed)
         if runtime is not None:
             runtime.after_step(self, closed)
         return LeanStepRecord(index, len(selected), closed)

@@ -89,3 +89,58 @@ class ColoringProtocol(Protocol):
     def color_of(self, config: Configuration, p: ProcessId) -> int:
         """The paper's output function ``color.p`` — the value of C.p."""
         return config.get(p, "C")
+
+
+# ----------------------------------------------------------------------
+# Vectorized kernel (engine="batch")
+# ----------------------------------------------------------------------
+from ..core.batchengine import BatchKernel, register_batch_kernel  # noqa: E402
+
+
+@register_batch_kernel(ColoringProtocol)
+class ColoringBatchKernel(BatchKernel):
+    """Whole-column COLORING guards.
+
+    Every process is always enabled and reads exactly the neighbor at
+    ``cur``: a clash fires ``recolor`` (fresh palette draw, one per
+    clashing process in selection order — the same draw sequence as the
+    scalar effects), otherwise ``advance``; both rotate ``cur``.
+    """
+
+    rule_names = ("recolor", "advance")
+
+    def __init__(self, protocol, store):
+        super().__init__(protocol, store)
+        self._c = store.slot("C")
+        self._cur = store.slot("cur")
+        self._cbits = store.reg_bits("C")
+
+    def classify(self, idx):
+        store = self.store
+        o = store.ops
+        cur = o.take(store.col(self._cur), idx)
+        q = o.take2(store.nbr, idx, o.add(cur, -1))
+        c = o.take(store.col(self._c), idx)
+        clash = o.eq(c, o.take(store.col(self._c), q))
+        codes = o.where(clash, 0, 1)
+        bits = o.take(self._cbits, q)
+        return codes, cur, bits, (cur, c, clash)
+
+    def plan_writes(self, idx, codes, aux, rng):
+        cur, c, clash = aux
+        store = self.store
+        o = store.ops
+        new_cur = o.add(o.mod(cur, o.take(store.deg, idx)), 1)
+        writes = [(self._cur, o.tolist(idx), o.tolist(new_cur))]
+        comm = []
+        rec_idx = o.compress_list(idx, clash)
+        if rec_idx:
+            sample = self.protocol.palette.sample
+            new_c = []
+            for i, old in zip(rec_idx, o.compress_list(c, clash)):
+                color = sample(rng)
+                new_c.append(color)
+                if color != old:
+                    comm.append(i)
+            writes.append((self._c, rec_idx, new_c))
+        return writes, comm

@@ -114,3 +114,71 @@ class MISProtocol(Protocol):
 
     def independent_set(self, network: Network, config: Configuration) -> Set[ProcessId]:
         return {p for p in network.processes if self.in_mis(config, p)}
+
+
+# ----------------------------------------------------------------------
+# Vectorized kernel (engine="batch")
+# ----------------------------------------------------------------------
+from ..core.batchengine import BatchKernel, register_batch_kernel  # noqa: E402
+
+
+@register_batch_kernel(MISProtocol)
+class MISBatchKernel(BatchKernel):
+    """Whole-column MIS guards.
+
+    Mirrors the scalar cascade's short-circuits exactly: the neighbor's
+    ``S`` is always read, its color only when ``S.(cur.p)=Dominator``
+    (both the yield comparison and the claim disjunction stop there
+    otherwise), which fixes the charged bits per branch.
+    """
+
+    rule_names = ("yield", "claim", "patrol")
+
+    def __init__(self, protocol, store):
+        super().__init__(protocol, store)
+        self._s = store.slot("S")
+        self._c = store.slot("C")
+        self._cur = store.slot("cur")
+        self._dom = store.encode(self._s, DOMINATOR)
+        self._dominated = store.encode(self._s, DOMINATED)
+        self._sbits = store.reg_bits("S")
+        self._cbits = store.reg_bits("C")
+
+    def classify(self, idx):
+        store = self.store
+        o = store.ops
+        s = o.take(store.col(self._s), idx)
+        c = o.take(store.col(self._c), idx)
+        cur = o.take(store.col(self._cur), idx)
+        q = o.take2(store.nbr, idx, o.add(cur, -1))
+        sq_dom = o.eq(o.take(store.col(self._s), q), self._dom)
+        cq = o.take(store.col(self._c), q)
+        yields = o.and_(sq_dom, o.lt(cq, c))
+        claims = o.or_(o.not_(sq_dom), o.lt(c, cq))
+        codes = o.where(
+            o.eq(s, self._dom),
+            o.where(yields, 0, 2),
+            o.where(claims, 1, -1),
+        )
+        sb = o.take(self._sbits, q)
+        bits = o.where(sq_dom, o.add(sb, o.take(self._cbits, q)), sb)
+        return codes, cur, bits, cur
+
+    def plan_writes(self, idx, codes, aux, rng):
+        cur = aux
+        store = self.store
+        o = store.ops
+        writes = []
+        y_idx = o.compress_list(idx, o.eq(codes, 0))
+        if y_idx:
+            writes.append((self._s, y_idx, [self._dominated] * len(y_idx)))
+        is_claim = o.eq(codes, 1)
+        c_idx = o.compress_list(idx, is_claim)
+        if c_idx:
+            writes.append((self._s, c_idx, [self._dom] * len(c_idx)))
+        moves = o.or_(is_claim, o.eq(codes, 2))
+        m_idx = o.compress_list(idx, moves)
+        if m_idx:
+            new_cur = o.add(o.mod(cur, o.take(store.deg, idx)), 1)
+            writes.append((self._cur, m_idx, o.compress_list(new_cur, moves)))
+        return writes, y_idx + c_idx

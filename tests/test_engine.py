@@ -12,6 +12,7 @@ import random
 
 import pytest
 
+from repro.api import engine_registry
 from repro.core import (
     CentralScheduler,
     ModelError,
@@ -31,6 +32,12 @@ from repro.faults import corrupt_processes
 from repro.graphs import chain, grid, random_connected, ring, sparse_random
 from repro.protocols import ColoringProtocol, MatchingProtocol, MISProtocol
 from repro.graphs import greedy_coloring
+
+
+#: Every registered engine — new engines (the columnar batch family,
+#: future strategies) inherit the whole equivalence matrix by being
+#: registered, with no test edits.
+ALL_ENGINES = tuple(sorted(engine_registry.names()))
 
 
 def brute_force_enabled(sim):
@@ -74,7 +81,7 @@ SCHEDULERS = {
 
 
 class TestTraceEquivalence:
-    """Incremental and scan engines replay the same computation."""
+    """Every registered engine replays the same computation."""
 
     @pytest.mark.parametrize("protocol", ["coloring", "mis", "matching"])
     @pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
@@ -84,7 +91,7 @@ class TestTraceEquivalence:
             topo = rng.choice(sorted(TOPOLOGIES))
             seed = rng.randrange(10_000)
             traces, finals, metrics = [], [], []
-            for engine in ("incremental", "scan"):
+            for engine in ALL_ENGINES:
                 net = TOPOLOGIES[topo]()
                 sim = Simulator(
                     build_protocol(protocol, net),
@@ -96,10 +103,11 @@ class TestTraceEquivalence:
                 traces.append([sim.step() for _ in range(80)])
                 finals.append(sim.config)
                 metrics.append(sim.metrics.summary())
-            label = f"{protocol}/{topo}/{scheduler}/s{seed}"
-            assert traces[0] == traces[1], label
-            assert finals[0] == finals[1], label
-            assert metrics[0] == metrics[1], label
+            for i, engine in enumerate(ALL_ENGINES):
+                label = f"{engine}/{protocol}/{topo}/{scheduler}/s{seed}"
+                assert traces[i] == traces[0], label
+                assert finals[i] == finals[0], label
+                assert metrics[i] == metrics[0], label
 
     def test_full_scan_flag_forces_scan_engine(self):
         net = ring(6)
@@ -140,16 +148,20 @@ class TestEnabledSetMaintenance:
         order = {p: i for i, p in enumerate(net.processes)}
         assert enabled == sorted(enabled, key=order.__getitem__)
 
-    def test_fault_injection_invalidates_engine(self):
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_fault_injection_invalidates_engine(self, engine):
         net = grid(3, 3)
-        sim = Simulator(build_protocol("matching", net), net, seed=4)
+        sim = Simulator(build_protocol("matching", net), net, seed=4,
+                        engine=engine)
         sim.run_steps(30)
         corrupt_processes(sim, list(net.processes)[:4], random.Random(1))
         assert sim.enabled_processes() == brute_force_enabled(sim)
 
-    def test_manual_invalidate_all(self):
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_manual_invalidate_all(self, engine):
         net = ring(8)
-        sim = Simulator(build_protocol("mis", net), net, seed=1)
+        sim = Simulator(build_protocol("mis", net), net, seed=1,
+                        engine=engine)
         sim.run_steps(10)
         # Out-of-band write with an explicit whole-network invalidation.
         p = net.processes[0]
@@ -272,13 +284,14 @@ class TestStatefulSchedulerReuse:
         scheduler = RoundRobinScheduler(enabled_only=True)
         net = grid(3, 3)
         traces = []
-        for engine in ("incremental", "scan"):
+        for engine in ALL_ENGINES:
             sim = Simulator(
                 build_protocol("mis", net), net,
                 scheduler=scheduler, seed=5, engine=engine,
             )
             traces.append([sim.step() for _ in range(40)])
-        assert traces[0] == traces[1]
+        for i, engine in enumerate(ALL_ENGINES):
+            assert traces[i] == traces[0], engine
 
 
 class TestReadDeclarations:

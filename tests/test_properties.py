@@ -11,8 +11,11 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import Configuration, Simulator, is_silent
+from repro.core import BatchEngine, Configuration, Simulator, is_silent
+from repro.core.actions import first_enabled
+from repro.core.context import StepContext
 from repro.core.rounds import RoundTracker
+from repro.core.scheduler import SynchronousScheduler
 from repro.graphs import (
     greedy_coloring,
     is_proper_coloring,
@@ -180,6 +183,69 @@ class TestMatchingProperties:
         sim = Simulator(proto, net, seed=seed)
         report = sim.run_until_silent(max_rounds=100_000)
         assert report.rounds <= matching_round_bound(net)
+
+
+def _paper_protocol(name, net):
+    if name == "coloring":
+        return ColoringProtocol.for_network(net)
+    colors = greedy_coloring(net)
+    return (MISProtocol if name == "mis" else MatchingProtocol)(net, colors)
+
+
+class TestBatchKernelProperties:
+    """The vectorized kernels agree with the scalar guards pointwise —
+    the batch engine's correctness reduces to exactly this plus the
+    write-back being the scalar effect."""
+
+    @given(
+        networks,
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from(("coloring", "mis", "matching")),
+    )
+    @SLOW
+    def test_classify_matches_scalar_guards(self, net, seed, protocol):
+        """On any connected topology and *any* configuration, the
+        kernel's per-process rule verdict equals ``first_enabled``."""
+        rng = random.Random(seed)
+        proto = _paper_protocol(protocol, net)
+        config = proto.arbitrary_configuration(net, rng)
+        specs_of = proto.specs_of(net)
+        engine = BatchEngine()
+        engine.bind(proto, net, config, specs_of)
+        assert engine.batch_active
+        verdicts = engine.classify_all()
+        actions = proto.actions()
+        for p in net.processes:
+            ctx = StepContext(p, net, config, specs_of, rng=None)
+            action = first_enabled(actions, ctx)
+            expected = action.name if action is not None else None
+            assert verdicts[p] == expected, (protocol, p)
+
+    @given(
+        networks,
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from(("coloring", "mis", "matching")),
+    )
+    @SLOW
+    def test_batch_step_preserves_legitimacy_once_silent(
+        self, net, seed, protocol
+    ):
+        """Closure through the columnar write-back: after silence, batch
+        steps never move the communication state or break legitimacy."""
+        proto = _paper_protocol(protocol, net)
+        sim = Simulator(
+            proto, net,
+            scheduler=SynchronousScheduler(enabled_only=True),
+            seed=seed, engine="batch",
+        )
+        assert sim.engine.batch_active
+        report = sim.run_until_silent(max_rounds=50_000)
+        assert report.stabilized
+        before = sim.config.comm_projection(sim.specs_of)
+        for _ in range(10):
+            sim.step()
+            assert sim.is_legitimate()
+        assert sim.config.comm_projection(sim.specs_of) == before
 
 
 class TestSilenceCheckerProperties:
