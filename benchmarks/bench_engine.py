@@ -27,13 +27,23 @@ The 10k-node scale tier.  Two families of measurements:
   ≥1.5x in the ``--tiny`` smoke), plus a 1M-process sparse-topology
   tier (batch only — the scalar loop would take minutes per step)
   reporting steps/sec and process-activations/sec.
+* **Column-resident fused driver** — the PR-8 gate: the same 10k
+  synchronous COLORING pair, ``engine="batch-resident"`` stepped
+  through the fused :meth:`Simulator.run_resident` driver versus the
+  per-step batch engine, asserting ≥3x at full scale (≥1.5x at
+  ``--tiny``).  The 1M sparse tier reruns under the resident engine
+  with the build cost split out — total simulator build, the
+  ColumnStore build alone (< 10s) and fused steps/sec (≥ 5) are each
+  gated separately, so a build regression cannot hide behind a
+  stepping win or vice versa.
 
 Every run (pytest or script) appends machine-readable results to
 ``BENCH_3.json`` at the repo root — steps/sec per topology × protocol
 × engine × metrics tier plus the hot-loop ratio — the scenario case to
-``BENCH_4.json``, and the batch-engine case (with the 1M-node tier at
-full scale) to ``BENCH_5.json``; all are keyed by mode (``full`` /
-``tiny``) so CI smoke numbers never shadow scale-tier ones.
+``BENCH_4.json``, the batch-engine case (with the 1M-node tier at
+full scale) to ``BENCH_5.json``, and the resident case to
+``BENCH_6.json``; all are keyed by mode (``full`` / ``tiny``) so CI
+smoke numbers never shadow scale-tier ones.
 
 Run as a pytest bench::
 
@@ -103,6 +113,29 @@ BATCH_TINY_N = 600
 #: is enough for a stable rate
 MILLION_N = 1_000_000
 MILLION_STEPS = 5
+
+BENCH6_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_6.json"
+
+#: PR-8 acceptance floor: the fused resident driver over the per-step
+#: batch engine on 10k-node synchronous coloring, aggregate tier
+MIN_RESIDENT_SPEEDUP = 3.0
+
+#: generous --tiny floor (same rationale as MIN_BATCH_SPEEDUP_TINY:
+#: catch losing the fused loop outright without flaking on loaded
+#: runners)
+MIN_RESIDENT_SPEEDUP_TINY = 1.5
+
+#: the pure-python column backend skips the same row decodes but has
+#: no vectorized kernels to amplify the win — resident runs ~1.1-1.4x
+#: batch at n=600 there, so the no-NumPy lane only gates against an
+#: outright regression
+MIN_RESIDENT_SPEEDUP_TINY_PYTHON = 0.9
+
+#: 1M-tier gates (full mode), asserted independently: the vectorized
+#: build path must assemble the ColumnStore within the budget, and the
+#: fused driver must sustain this many synchronous steps per second
+MILLION_STORE_BUILD_BUDGET_S = 10.0
+MILLION_MIN_STEPS_PER_SEC = 5.0
 
 #: generous floors for the churn+recovery scenario case: the scenario
 #: run (periodic corruption + topology churn + recovery tracking —
@@ -307,6 +340,135 @@ def measure_batch(n: int, budget_s: float) -> Dict[str, float]:
     }
     rates["speedup"] = rates["batch"] / rates["incremental"]
     return rates
+
+
+def time_stepping_resident(sim, budget_s: float, chunk: int = 64) -> float:
+    """Fused-driver analogue of :func:`time_stepping`: run the resident
+    engine in ``chunk``-step fused spans for ~budget_s; steps/sec."""
+    sim.run_resident(steps=1)  # warm caches outside the timed window
+    steps = 0
+    t0 = time.perf_counter()
+    while True:
+        sim.run_resident(steps=chunk)
+        steps += chunk
+        elapsed = time.perf_counter() - t0
+        if elapsed >= budget_s:
+            return steps / elapsed
+
+
+def measure_resident(n: int, budget_s: float) -> Dict[str, float]:
+    """The PR-8 acceptance pair: synchronous COLORING at ``n``
+    processes, aggregate tier, per-step batch engine vs the fused
+    column-resident driver.  Returns both rates plus the speedup."""
+    def build(engine):
+        return ExperimentSpec(
+            protocol="coloring", topology="ring", topology_params={"n": n},
+            scheduler="synchronous", seed=1, engine=engine,
+            metrics="aggregate",
+        ).build_simulator()
+
+    resident_sim = build("batch-resident")
+    rates = {
+        "backend": resident_sim.engine.backend_name,
+        "batch": time_stepping(build("batch"), budget_s),
+        "resident": time_stepping_resident(resident_sim, budget_s),
+    }
+    rates["speedup"] = rates["resident"] / rates["batch"]
+    return rates
+
+
+def resident_tiny_floor(rates: Dict[str, float]) -> float:
+    """The --tiny resident gate, by column backend (see the constants)."""
+    if rates.get("backend") == "numpy":
+        return MIN_RESIDENT_SPEEDUP_TINY
+    return MIN_RESIDENT_SPEEDUP_TINY_PYTHON
+
+
+def measure_million_resident(n: int = MILLION_N,
+                             steps: int = MILLION_STEPS) -> Dict[str, float]:
+    """The 1M-process sparse tier under the resident engine.
+
+    Splits the build cost so each gate stands alone: ``build_s`` is the
+    whole simulator construction (graph sample, configuration draw,
+    engine activation), ``store_build_s`` re-times just the
+    ColumnStore assembly (the < 10s gate), and ``steps_per_sec`` is
+    the fused driver's synchronous rate (the ≥ 5 steps/s gate).
+    """
+    import gc
+
+    from repro.core.columns import ColumnStore
+
+    t0 = time.perf_counter()
+    sim = ExperimentSpec(
+        protocol="coloring", topology="sparse",
+        topology_params={"n": n, "avg_degree": 3.0, "seed": 7},
+        scheduler="synchronous", seed=1, engine="batch-resident",
+        metrics="aggregate",
+    ).build_simulator()
+    build_s = time.perf_counter() - t0
+    # The simulator build leaves ~GBs of freshly allocated objects;
+    # collect first so the store-build gate times the build, not a GC
+    # pass that happens to land inside the window.
+    gc.collect()
+    t0 = time.perf_counter()
+    store = ColumnStore.try_build(sim.network, sim.config, sim.engine.specs_of)
+    store_build_s = time.perf_counter() - t0
+    assert store is not None, "1M store build fell back"
+    del store
+    gc.collect()
+    sim.run_resident(steps=1)  # warm outside the timed window
+    t0 = time.perf_counter()
+    sim.run_resident(steps=steps)
+    elapsed = time.perf_counter() - t0
+    rate = steps / elapsed
+    return {
+        "n": float(n),
+        "steps_timed": float(steps),
+        "build_s": build_s,
+        "store_build_s": store_build_s,
+        "steps_per_sec": rate,
+        "activations_per_sec": rate * n,
+    }
+
+
+def write_bench6_json(mode: str, n: int, budget_s: float,
+                      resident: Dict[str, float],
+                      million: Dict[str, float] = None) -> None:
+    """Merge the resident case into ``BENCH_6.json`` (repo root), keyed
+    by mode exactly like :func:`write_bench5_json`.  The 1M section
+    carries its two gate thresholds next to the measured values so the
+    artifact is self-describing."""
+    payload: Dict = {}
+    if BENCH6_JSON.exists():
+        try:
+            payload = json.loads(BENCH6_JSON.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            payload = {}
+    section = {
+        "n": n,
+        "budget_s": budget_s,
+        "resident_vs_batch": {
+            k: round(v, 3) if isinstance(v, float) else v
+            for k, v in resident.items()
+        },
+    }
+    if million is not None:
+        section["million_sparse"] = {
+            k: round(v, 3) for k, v in million.items()
+        }
+        section["million_gates"] = {
+            "store_build_budget_s": MILLION_STORE_BUILD_BUDGET_S,
+            "store_build_ok": million["store_build_s"]
+            < MILLION_STORE_BUILD_BUDGET_S,
+            "min_steps_per_sec": MILLION_MIN_STEPS_PER_SEC,
+            "steps_per_sec_ok": million["steps_per_sec"]
+            >= MILLION_MIN_STEPS_PER_SEC,
+        }
+    payload[mode] = section
+    BENCH6_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 def measure_million(n: int = MILLION_N,
@@ -529,6 +691,36 @@ def test_batch_engine_speedup(tiny):
     assert rates["speedup"] >= floor
 
 
+def test_resident_engine_speedup(tiny):
+    """PR-8 gate: the fused resident driver ≥3x the per-step batch
+    engine on 10k-node synchronous coloring (≥1.5x at smoke sizes); at
+    full scale the 1M sparse tier must assemble its ColumnStore inside
+    the 10s budget and sustain ≥5 fused steps/s — both gated
+    separately."""
+    n = BATCH_TINY_N if tiny else FULL_N
+    budget = TINY_BUDGET_S if tiny else FULL_BUDGET_S
+    rates = measure_resident(n, budget)
+    million = None if tiny else measure_million_resident()
+    write_bench6_json("tiny" if tiny else "full", n, budget, rates, million)
+    print(
+        f"\nresident driver, n={n} (synchronous coloring, aggregate tier): "
+        f"batch {rates['batch']:,.1f} steps/s, "
+        f"resident {rates['resident']:,.1f} steps/s "
+        f"({rates['speedup']:.2f}x)"
+    )
+    if million is not None:
+        print(
+            f"1M sparse tier (resident): {million['steps_per_sec']:.2f} "
+            f"steps/s ({million['activations_per_sec']:,.0f} activations/s, "
+            f"build {million['build_s']:.1f}s, "
+            f"store build {million['store_build_s']:.1f}s)"
+        )
+        assert million["store_build_s"] < MILLION_STORE_BUILD_BUDGET_S
+        assert million["steps_per_sec"] >= MILLION_MIN_STEPS_PER_SEC
+    floor = resident_tiny_floor(rates) if tiny else MIN_RESIDENT_SPEEDUP
+    assert rates["speedup"] >= floor
+
+
 # ----------------------------------------------------------------------
 # Script entry point
 # ----------------------------------------------------------------------
@@ -549,21 +741,38 @@ def main(argv=None) -> int:
                         help="also append this emission to a results "
                              "store's bench trajectory (repro compare "
                              "gates BENCH payloads against it)")
+    parser.add_argument("--profile", default=None, metavar="PSTATS",
+                        help="run the measurement pass under cProfile "
+                             "and dump the stats to this path (inspect "
+                             "with python -m pstats)")
     args = parser.parse_args(argv)
 
     n = args.n or (TINY_N if args.tiny else FULL_N)
     budget = args.budget or (TINY_BUDGET_S if args.tiny else FULL_BUDGET_S)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     grid = measure_grid(n, budget)
     hot = measure_hot_loop(n, budget)
     scenario = measure_scenario(n, budget)
     batch_n = BATCH_TINY_N if args.tiny else n
     batch = measure_batch(batch_n, budget)
+    resident = measure_resident(batch_n, budget)
     million = None if args.tiny else measure_million()
+    million_res = None if args.tiny else measure_million_resident()
+    if profiler is not None:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        print(f"cProfile stats written to {args.profile}")
     mode = "tiny" if args.tiny else "full"
     if not args.no_json:
         write_bench_json(mode, n, budget, grid=grid, hot_loop=hot)
         write_bench4_json(mode, n, budget, scenario)
         write_bench5_json(mode, batch_n, budget, batch, million)
+        write_bench6_json(mode, batch_n, budget, resident, million_res)
     if args.store:
         from repro.results import ResultStore
 
@@ -586,6 +795,17 @@ def main(argv=None) -> int:
                 bench5["million_sparse"] = {k: round(v, 3)
                                             for k, v in million.items()}
             store.record_bench("BENCH_5", mode, bench5)
+            bench6 = {
+                "n": batch_n, "budget_s": budget,
+                "resident_vs_batch": {
+                    k: round(v, 3) if isinstance(v, float) else v
+                    for k, v in resident.items()
+                },
+            }
+            if million_res is not None:
+                bench6["million_sparse"] = {k: round(v, 3)
+                                            for k, v in million_res.items()}
+            store.record_bench("BENCH_6", mode, bench6)
         print(f"bench trajectories appended to {args.store}")
     print(f"engine grid at n={n}, {budget:.2f}s per cell:")
     for row in grid:
@@ -627,6 +847,17 @@ def main(argv=None) -> int:
         print(f"  1M sparse tier (batch only)           "
               f"{million['steps_per_sec']:>12,.2f} steps/s "
               f"({million['activations_per_sec']:,.0f} activations/s)")
+    print(f"resident driver (synchronous coloring, n={batch_n}, aggregate):")
+    print(f"  per-step batch                        "
+          f"{resident['batch']:>12,.1f} steps/s")
+    print(f"  fused resident                        "
+          f"{resident['resident']:>12,.1f} steps/s "
+          f"({resident['speedup']:.2f}x)")
+    if million_res is not None:
+        print(f"  1M sparse tier (resident)             "
+              f"{million_res['steps_per_sec']:>12,.2f} steps/s "
+              f"(build {million_res['build_s']:.1f}s, "
+              f"store build {million_res['store_build_s']:.1f}s)")
     flat_ok = hot["speedup_aggregate"] >= (
         MIN_FLAT_SPEEDUP_TINY if args.tiny else MIN_FLAT_SPEEDUP
     )
@@ -636,6 +867,15 @@ def main(argv=None) -> int:
     batch_ok = batch["speedup"] >= (
         MIN_BATCH_SPEEDUP_TINY if args.tiny else MIN_BATCH_SPEEDUP
     )
+    resident_ok = resident["speedup"] >= (
+        resident_tiny_floor(resident) if args.tiny else MIN_RESIDENT_SPEEDUP
+    )
+    if million_res is not None:
+        resident_ok = (
+            resident_ok
+            and million_res["store_build_s"] < MILLION_STORE_BUILD_BUDGET_S
+            and million_res["steps_per_sec"] >= MILLION_MIN_STEPS_PER_SEC
+        )
     if not args.tiny and not ring_ok:
         print(f"FAIL: ring speedup below the {MIN_SPEEDUP}x floor")
         return 1
@@ -647,6 +887,9 @@ def main(argv=None) -> int:
         return 1
     if not batch_ok:
         print("FAIL: batch engine below its speedup floor")
+        return 1
+    if not resident_ok:
+        print("FAIL: resident driver below its speedup floor or 1M gates")
         return 1
     return 0
 

@@ -45,7 +45,11 @@ from __future__ import annotations
 import inspect
 from typing import Callable, Dict, Iterator, List
 
-from ..core.batchengine import BatchCrossCheckEngine, BatchEngine
+from ..core.batchengine import (
+    BatchCrossCheckEngine,
+    BatchEngine,
+    ResidentBatchEngine,
+)
 from ..core.engine import CrossCheckEngine, IncrementalEngine, ScanEngine
 from ..core.scheduler import (
     BoundedFairScheduler,
@@ -301,3 +305,8 @@ def _batch_engine():
 @register_engine("batch-debug")
 def _batch_debug_engine():
     return BatchCrossCheckEngine()
+
+
+@register_engine("batch-resident")
+def _batch_resident_engine():
+    return ResidentBatchEngine()

@@ -190,7 +190,21 @@ def _render(protocol_name: str, network, config) -> str:
 def cmd_run(args) -> int:
     spec = spec_from_args(args, max_rounds=args.max_rounds)
     sim = spec.build_simulator()
-    report = drive_simulator(sim, max_rounds=args.max_rounds)
+    profile_path = getattr(args, "profile", None)
+    if profile_path:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            report = drive_simulator(sim, max_rounds=args.max_rounds)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(profile_path)
+            print(f"cProfile stats written to {profile_path} "
+                  f"(inspect with python -m pstats)")
+    else:
+        report = drive_simulator(sim, max_rounds=args.max_rounds)
     # Read protocol/network after the run: churn may have replaced them.
     protocol, network = sim.protocol, sim.network
     print(f"{protocol.name} on {args.topology} "
@@ -746,6 +760,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fault/churn scenario, name:key=value,... "
                           f"(known: {', '.join(scenario_registry.names())})")
     run.add_argument("--max-rounds", type=int, default=100_000)
+    run.add_argument("--profile", default=None, metavar="PSTATS",
+                     help="profile the run under cProfile and dump the "
+                          "stats to this path (inspect with "
+                          "python -m pstats)")
     run.add_argument("--render", action="store_true")
     run.set_defaults(fn=cmd_run)
 

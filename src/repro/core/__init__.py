@@ -12,6 +12,7 @@ from .batchengine import (
     BatchCrossCheckEngine,
     BatchEngine,
     BatchKernel,
+    ResidentBatchEngine,
     register_batch_kernel,
 )
 from .columns import ColumnStore
@@ -100,6 +101,7 @@ __all__ = [
     "Protocol",
     "QuiescenceWitness",
     "RandomSubsetScheduler",
+    "ResidentBatchEngine",
     "ReproError",
     "RngStreams",
     "RoundRobinScheduler",

@@ -35,6 +35,15 @@ scalar guard probes and raises
 :class:`~repro.core.exceptions.ModelError` on any divergence in action
 choice, ports read, or bits charged — the batch analogue of
 :class:`~repro.core.engine.CrossCheckEngine`.
+
+:class:`ResidentBatchEngine` (``engine="batch-resident"``) goes one
+step further: the columns *are* the live state.  Writes stay columnar
+(:attr:`ColumnStore.resident`), rows are decoded only at observation
+boundaries via the :class:`~repro.core.state.Configuration` sync hook,
+and the fused :meth:`BatchEngine.run_steps` driver executes whole
+synchronous/maximal-daemon step sequences — selection, classification,
+writes, round tracking, silence checks, aggregate metrics folds —
+without returning to Python rows in between.
 """
 
 from __future__ import annotations
@@ -121,6 +130,21 @@ class BatchKernel:
         """
         raise NotImplementedError
 
+    # -- optional resident-mode extensions ------------------------------
+    #: Kernels may additionally provide
+    #:
+    #: ``plan_writes_resident(codes, aux, rng)`` — apply a whole-network
+    #: step's writes directly to the store as column replacements
+    #: (``store.write_col``) plus sparse ``store.write`` batches, with
+    #: the exact same RNG draw sequence as :meth:`plan_writes`; used by
+    #: the fused driver when the selection is the full network.
+    #:
+    #: ``silent_cols()`` — the silence verdict straight from the
+    #: columns (must agree with the exact scalar
+    #: :func:`~repro.core.silence.is_silent` on every configuration);
+    #: the fused driver falls back to materialize + scalar check when
+    #: absent.
+
 
 class BatchOutcome:
     """One batch step's results, pre-aggregation (engine-internal)."""
@@ -140,6 +164,8 @@ class BatchEngine(EnabledSetEngine):
     """Columnar enabled-set engine with whole-step batch execution."""
 
     name = "batch"
+    #: resident engines keep writes columnar; rows decode lazily
+    resident = False
 
     def bind(self, protocol, network, config, specs_of) -> None:
         super().bind(protocol, network, config, specs_of)
@@ -169,6 +195,7 @@ class BatchEngine(EnabledSetEngine):
         self._seen = None
         self._suffix_seen = None
         self._suffix_epoch = None
+        self._unflushed_reads = []
         kernel_cls = BATCH_KERNELS.get(type(self.protocol))
         store = (
             ColumnStore.try_build(self.network, self.config, self.specs_of)
@@ -302,6 +329,155 @@ class BatchEngine(EnabledSetEngine):
         """Hook for :class:`BatchCrossCheckEngine` (no-op here)."""
 
     # ------------------------------------------------------------------
+    # Column-resident execution
+    # ------------------------------------------------------------------
+    def materialize_rows(self) -> None:
+        """Decode pending resident column writes into the live rows.
+
+        The observation boundary of resident mode: installed as the
+        configuration's sync hook and called explicitly before any
+        scalar code path that bypasses it (pooled step contexts cache
+        raw row references).  No-op for non-resident stores and on the
+        scalar fallback.
+        """
+        store = self._store
+        if store is not None:
+            store.materialize()
+
+    def run_steps(self, sim, max_steps=None, stop_on_silence=False,
+                  round_budget=None):
+        """Fused resident driver: run whole step sequences in columns.
+
+        Executes synchronous-daemon steps (the full network, or the
+        enabled pool under ``enabled_only``) entirely in columnar space
+        — classification, writes, round accounting, aggregate metrics
+        folds and silence checks — returning to Python rows only at the
+        horizon (``max_steps``), at silence (``stop_on_silence``), or
+        when the round budget runs out.  Byte-identical to driving
+        :meth:`Simulator.step` in a loop: same RNG draw sequence, same
+        float fold order, same round closures, same silence boundaries.
+
+        Returns ``(steps_executed, silent)``; ``silent`` is ``None``
+        unless ``stop_on_silence`` was requested, in which case it
+        reports whether silence was detected within the budget.
+        """
+        store = self._store
+        kernel = self._kernel
+        ops = store.ops
+        self._refresh()
+        all_idx = store.all_idx
+        n = store.n
+        numpy = store.backend == "numpy"
+        rng = sim.rngs.protocol if sim.protocol.randomized else None
+        collector = sim._metrics if sim.metrics_tier == "aggregate" else None
+        tracker = sim.round_tracker
+        silent_cols = getattr(kernel, "silent_cols", None)
+        resident_plan = (
+            getattr(kernel, "plan_writes_resident", None)
+            if self.resident else None
+        )
+        plan = kernel.plan_writes
+
+        def silent_now() -> bool:
+            if silent_cols is not None:
+                return silent_cols()
+            # No vectorized silence for this kernel: an observation
+            # boundary — the config sync hook materializes the rows.
+            return sim.is_silent()
+
+        steps = 0
+        silent = None
+        all_sel = None if numpy else list(range(n))
+
+        if not sim._enabled_pool:
+            # Synchronous daemon: every step activates every process,
+            # so every step closes exactly one round.
+            closed_rounds = 0
+            while max_steps is None or steps < max_steps:
+                if round_budget is not None and closed_rounds >= round_budget:
+                    break
+                codes, ports, bits, aux = kernel.classify(all_idx)
+                if resident_plan is not None:
+                    resident_plan(codes, aux, rng)
+                else:
+                    writes, _comm = plan(all_idx, codes, aux, rng)
+                    for slot, w_idx, w_vals in writes:
+                        if w_idx:
+                            store.write(slot, w_idx, w_vals)
+                steps += 1
+                closed_rounds += 1
+                if collector is not None:
+                    self.fold_aggregate(
+                        BatchOutcome(None, all_sel, all_idx,
+                                     codes, ports, bits),
+                        collector, True,
+                    )
+                if stop_on_silence and silent_now():
+                    silent = True
+                    break
+            if stop_on_silence and silent is None:
+                silent = False
+            tracker.advance_rounds(closed_rounds)
+        else:
+            # Maximal daemon (``enabled_only``): the pool is the
+            # enabled set (all processes when it is empty — no-op
+            # steps still close rounds).  One classify over the whole
+            # network per step doubles as the previous step's
+            # ``still_enabled`` view and the next step's selection.
+            pids = store.pids
+            pindex = store.pindex
+            pending = {pindex[p] for p in tracker.pending}
+            completed = tracker.completed_rounds
+            start_completed = completed
+            en_list = ops.nonzero_list(
+                ops.ne(kernel.classify(all_idx)[0], -1)
+            )
+            while max_steps is None or steps < max_steps:
+                if (round_budget is not None
+                        and completed - start_completed >= round_budget):
+                    break
+                if en_list:
+                    sel = en_list
+                    idx = ops.int_col(sel)
+                else:
+                    sel = all_sel if all_sel is not None else list(range(n))
+                    all_sel = sel
+                    idx = all_idx
+                codes, ports, bits, aux = kernel.classify(idx)
+                writes, _comm = plan(idx, codes, aux, rng)
+                for slot, w_idx, w_vals in writes:
+                    if w_idx:
+                        store.write(slot, w_idx, w_vals)
+                en_list = ops.nonzero_list(
+                    ops.ne(kernel.classify(all_idx)[0], -1)
+                )
+                # RoundTracker.record_step over indices: activations
+                # serve first, then the Dolev-Israeli-Moran refinement
+                # drops processes observed disabled after the step.
+                pending.difference_update(sel)
+                if pending:
+                    pending.intersection_update(en_list)
+                closed = not pending
+                if closed:
+                    completed += 1
+                    pending = set(range(n))
+                steps += 1
+                if collector is not None:
+                    self.fold_aggregate(
+                        BatchOutcome(None, sel, idx, codes, ports, bits),
+                        collector, closed,
+                    )
+                if stop_on_silence and closed and silent_now():
+                    silent = True
+                    break
+            if stop_on_silence and silent is None:
+                silent = False
+            tracker.set_state({pids[i] for i in pending}, completed)
+        self._drop_enabled_cache()
+        sim.step_index += steps
+        return steps, silent
+
+    # ------------------------------------------------------------------
     # Metrics reproduction
     # ------------------------------------------------------------------
     def make_step_record(self, index, outcome: BatchOutcome, closed: bool) -> StepRecord:
@@ -372,6 +548,8 @@ class BatchEngine(EnabledSetEngine):
                 self._ensure_seen("_seen"),
                 outcome,
                 has_read,
+                defer_to=(self._unflushed_reads
+                          if store.backend == "numpy" else None),
             )
             if collector.suffix_read_sets is not None:
                 if self._suffix_epoch != collector.suffix_start_step:
@@ -383,15 +561,31 @@ class BatchEngine(EnabledSetEngine):
                     outcome,
                     has_read,
                 )
-        bits_list = ops.tolist(outcome.bits)
-        if bits_list:
-            max_bits = max(bits_list)
-            if max_bits > collector.max_bits_in_step:
-                collector.max_bits_in_step = max_bits
-            total = collector.total_bits
-            for b in bits_list:
-                total += b
-            collector.total_bits = total
+        bits = outcome.bits
+        if store.backend == "numpy":
+            if len(bits):
+                np = ops.np
+                max_bits = float(bits.max())
+                if max_bits > collector.max_bits_in_step:
+                    collector.max_bits_in_step = max_bits
+                # ``np.add.accumulate`` is a strict left-to-right
+                # chain (unlike ``np.add.reduce``, which pairs up), so
+                # seeding the running total as element 0 reproduces the
+                # scalar loop's sequential float fold bit for bit.
+                chain = np.empty(len(bits) + 1, dtype=np.float64)
+                chain[0] = collector.total_bits
+                chain[1:] = bits
+                collector.total_bits = float(np.add.accumulate(chain)[-1])
+        else:
+            bits_list = ops.tolist(bits)
+            if bits_list:
+                max_bits = max(bits_list)
+                if max_bits > collector.max_bits_in_step:
+                    collector.max_bits_in_step = max_bits
+                total = collector.total_bits
+                for b in bits_list:
+                    total += b
+                collector.total_bits = total
 
     def _ensure_seen(self, attr):
         seen = getattr(self, attr)
@@ -406,7 +600,17 @@ class BatchEngine(EnabledSetEngine):
             setattr(self, attr, seen)
         return seen
 
-    def _fold_read_sets(self, read_sets, seen, outcome, has_read) -> None:
+    def _fold_read_sets(self, read_sets, seen, outcome, has_read,
+                        defer_to=None) -> None:
+        """Fold newly observed (process, port) reads into ``read_sets``.
+
+        With ``defer_to`` (the main numpy fold), the per-process set
+        materialization is postponed: the new index pairs are stashed
+        and drained by :meth:`flush_pending_metrics` before any
+        external metrics read.  Each pair is recorded exactly once (the
+        seen matrix dedups at fold time), so the drain's set inserts
+        are order-insensitive and byte-equivalent to the eager fold.
+        """
         store = self._store
         ops = store.ops
         pids = store.pids
@@ -420,6 +624,9 @@ class BatchEngine(EnabledSetEngine):
             new_rows = rows[new]
             new_cols = cols[new]
             seen[new_rows, new_cols] = True
+            if defer_to is not None:
+                defer_to.append((new_rows, new_cols))
+                return
             for i, c in zip(new_rows.tolist(), new_cols.tolist()):
                 read_sets[pids[i]].add(c + 1)
         else:
@@ -451,6 +658,13 @@ class BatchEngine(EnabledSetEngine):
                 if c:
                     activations[pids[i]] += c
                     pend[i] = 0
+        pending_reads = self._unflushed_reads
+        if pending_reads:
+            self._unflushed_reads = []
+            read_sets = self._agg_collector.read_sets
+            for rows, cols in pending_reads:
+                for i, c in zip(rows.tolist(), cols.tolist()):
+                    read_sets[pids[i]].add(c + 1)
 
     # ------------------------------------------------------------------
     # Introspection (property tests, debugging)
@@ -523,3 +737,41 @@ class BatchCrossCheckEngine(BatchEngine):
                 f"(missing: {missing}, stale: {extra})"
             )
         return enabled_set, enabled_list
+
+
+class ResidentBatchEngine(BatchEngine):
+    """Column-resident batch engine: the columns are the live state.
+
+    ``engine="batch-resident"``.  Differences from :class:`BatchEngine`:
+
+    * the store runs in resident mode — step writes stay columnar and
+      the touched rows go stale-by-design until :meth:`materialize_rows`
+      decodes them (``ColumnStore.generation`` stamps which slots moved);
+    * the bound :class:`~repro.core.state.Configuration` gets a sync
+      hook, so *any* row observation — traces, predicates, silence
+      walks, fault injectors, direct ``config.get``/``state_of`` reads —
+      transparently materializes first and can never see stale rows;
+    * the simulator's ``run_steps``/``run_until_silent`` delegate to the
+      fused :meth:`BatchEngine.run_steps` driver under synchronous and
+      maximal daemons, skipping the per-step Python round-trip entirely.
+
+    Everything else — fallback ladder, metrics folds, equivalence
+    guarantees — is inherited; the scalar engines remain the oracles.
+    """
+
+    name = "batch-resident"
+    resident = True
+
+    def _activate(self) -> None:
+        hooked = getattr(self, "_hooked_config", None)
+        if hooked is not None:
+            hooked.install_sync(None)
+            self._hooked_config = None
+        super()._activate()
+        store = self._store
+        if store is not None:
+            store.resident = True
+            install = getattr(self.config, "install_sync", None)
+            if install is not None:
+                install(self.materialize_rows)
+                self._hooked_config = self.config

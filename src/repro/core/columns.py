@@ -32,6 +32,17 @@ process's live row, so every consumer of the configuration — traces,
 silence checks, predicates, fault injectors — observes exactly the
 state a scalar step would have produced.
 
+**Column-resident mode** (``store.resident = True``, set by the
+``batch-resident`` engine) inverts that contract: writes stay in the
+columns, the touched slots are recorded in ``_dirty_slots``, and the
+per-slot ``generation`` stamp advances; rows are only refreshed by an
+explicit :meth:`materialize` call at observation boundaries (traces,
+scenario hooks, silence predicates, direct configuration reads — the
+``Configuration`` sync hook routes all of those here).  The two
+staleness directions are mutually exclusive by construction: while
+columns are dirty, :meth:`pull`/:meth:`pull_all` refuse to run, so a
+row-ahead and a column-ahead view can never silently merge.
+
 A store is only *supported* for flat configurations whose processes
 share one interned layout and whose domains are all integer ranges or
 uniform finite value tuples; :meth:`ColumnStore.try_build` returns
@@ -41,9 +52,10 @@ uniform finite value tuples; :meth:`ColumnStore.try_build` returns
 from __future__ import annotations
 
 from array import array
-from itertools import repeat
+from itertools import chain, repeat
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
+from .exceptions import ModelError
 from .variables import FiniteSet, IntRange
 
 ProcessId = Hashable
@@ -266,6 +278,9 @@ class ColumnStore:
         "deg",
         "max_degree",
         "all_idx",
+        "resident",
+        "generation",
+        "_dirty_slots",
         "_bits_raw",
         "_bits_cols",
     )
@@ -286,6 +301,12 @@ class ColumnStore:
         self.deg = deg
         self.max_degree = max_degree
         self.all_idx = ops.arange(self.n)
+        self.resident = False
+        #: per-slot column generation stamp; advances on every resident
+        #: write, so observers can tell whether a slot moved since they
+        #: last materialized.
+        self.generation: List[int] = [0] * len(layout.names)
+        self._dirty_slots: set = set()
         self.cols: List[Any] = [None] * len(layout.names)
         self.pull_all()
 
@@ -307,22 +328,31 @@ class ColumnStore:
         n = len(pids)
         if n == 0:
             return None
-        layout = layout_of(pids[0])
+        aligned = getattr(config, "aligned_storage", None)
+        aligned = aligned(pids) if aligned is not None else None
+        layout = (aligned[0][0] if aligned is not None
+                  else layout_of(pids[0]))
         names = layout.names
         nvars = len(names)
         # One pass over every process resolves layout sharing, slot
         # codecs, the per-variable register widths, and the row aliases.
+        # Spec tuples repeat heavily (protocols memoize by degree), so
+        # the codec/bits resolution runs once per *distinct* tuple and
+        # the per-process loop degrades to cache hits.
         codec_values: List[Any] = [False] * nvars  # False=int, tuple=enum
         bits_raw: Dict[str, List[float]] = {name: [0.0] * n for name in names}
-        rows: List[List[Any]] = [None] * n
-        for i, p in enumerate(pids):
-            if layout_of(p) is not layout:
+        bits_cols = [bits_raw[name] for name in names]
+        spec_cache: Dict[int, Optional[List[float]]] = {}
+
+        def resolve(specs, first: bool) -> Optional[List[float]]:
+            """Per-slot bit widths of one spec tuple, or None if the
+            tuple cannot share this store's layout/codecs."""
+            if len(specs) != nvars:
                 return None
-            rows[i] = row_of(p)
-            specs = specs_of[p]
+            bits = [0.0] * nvars
             for spec in specs:
                 k = layout.index.get(spec.name)
-                if k is None or len(specs) != nvars:
+                if k is None:
                     return None
                 dom = spec.domain
                 if isinstance(dom, IntRange):
@@ -330,7 +360,7 @@ class ColumnStore:
                         return None
                 elif isinstance(dom, FiniteSet):
                     if codec_values[k] is False:
-                        if i == 0:
+                        if first:
                             codec_values[k] = dom.values
                         else:
                             return None
@@ -338,7 +368,34 @@ class ColumnStore:
                         return None
                 else:
                     return None
-                bits_raw[spec.name][i] = dom.bits
+                bits[k] = dom.bits
+            return bits
+
+        if aligned is not None:
+            layouts, rows = aligned
+            rows = list(rows)
+        else:
+            layouts = None
+            rows = [None] * n
+        bits_refs: List[Optional[List[float]]] = [None] * n
+        for i, p in enumerate(pids):
+            if aligned is not None:
+                if layouts[i] is not layout:
+                    return None
+            else:
+                if layout_of(p) is not layout:
+                    return None
+                rows[i] = row_of(p)
+            specs = specs_of[p]
+            bits = spec_cache.get(id(specs))
+            if bits is None and id(specs) not in spec_cache:
+                bits = resolve(specs, first=(i == 0))
+                spec_cache[id(specs)] = bits
+            if bits is None:
+                return None
+            bits_refs[i] = bits
+        for k in range(nvars):
+            bits_cols[k][:] = [b[k] for b in bits_refs]
         codecs = [
             _SlotCodec(None if values is False else tuple(values))
             for values in codec_values
@@ -346,24 +403,35 @@ class ColumnStore:
         np = _load_numpy()
         ops = _NumpyOps(np) if np is not None else _PythonOps()
         pindex = {p: i for i, p in enumerate(pids)}
-        degs = [len(network.neighbors(p)) for p in pids]
+        port_lists = [network.neighbors(p) for p in pids]
+        degs = list(map(len, port_lists))
         max_degree = max(degs) if degs else 0
         if max_degree == 0:
             return None
         if ops.backend == "numpy":
-            flat: List[int] = []
-            pad = [0] * max_degree
-            for p, d in zip(pids, degs):
-                flat.extend(pindex[q] for q in network.neighbors(p))
-                if d < max_degree:
-                    flat.extend(pad[: max_degree - d])
-            nbr = ops.int_col(flat).reshape(n, max_degree)
+            # Padded (n, Δ) table built by scatter instead of a Python
+            # per-neighbor append loop — at 1M processes the loop was
+            # most of the store build.
+            flat_pids = list(chain.from_iterable(port_lists))
+            flat = np.fromiter(
+                map(pindex.__getitem__, flat_pids),
+                dtype=np.int64, count=len(flat_pids),
+            )
+            deg_arr = np.asarray(degs, dtype=np.int64)
+            rows_rep = np.repeat(np.arange(n, dtype=np.int64), deg_arr)
+            starts = np.repeat(
+                np.cumsum(deg_arr, dtype=np.int64) - deg_arr, deg_arr
+            )
+            cols_rep = np.arange(len(flat_pids), dtype=np.int64) - starts
+            nbr = np.zeros((n, max_degree), dtype=np.int64)
+            nbr[rows_rep, cols_rep] = flat
+            deg = deg_arr
         else:
             nbr = [
-                array("q", (pindex[q] for q in network.neighbors(p)))
-                for p in pids
+                array("q", (pindex[q] for q in order))
+                for order in port_lists
             ]
-        deg = ops.int_col(degs)
+            deg = ops.int_col(degs)
         return cls(ops, pids, pindex, layout, rows, codecs, bits_raw,
                    nbr, deg, max_degree)
 
@@ -398,6 +466,11 @@ class ColumnStore:
     # ------------------------------------------------------------------
     def pull_all(self) -> None:
         """Re-read every row into the columns (bind / full distrust)."""
+        if self._dirty_slots:
+            raise ModelError(
+                "pull_all() with undecoded resident columns; "
+                "materialize() first"
+            )
         rows = self.rows
         for k, codec in enumerate(self.codecs):
             if codec.values is None:
@@ -410,6 +483,11 @@ class ColumnStore:
     def pull(self, indices) -> None:
         """Re-read the rows of ``indices`` (out-of-band writes: faults,
         adversarial resets, scalar steps interleaved with batch ones)."""
+        if self._dirty_slots:
+            raise ModelError(
+                "pull() with undecoded resident columns; "
+                "materialize() first"
+            )
         rows = self.rows
         for k, codec in enumerate(self.codecs):
             col = self.cols[k]
@@ -422,16 +500,22 @@ class ColumnStore:
                     col[i] = enc[rows[i][k]]
 
     def write(self, slot: int, indices: list, codes: list) -> None:
-        """Apply one slot's batch of writes to the column *and* the live
-        rows (decoded), keeping the configuration the source of truth."""
+        """Apply one slot's batch of writes to the column and — unless
+        the store is resident — decode them into the live rows, keeping
+        the configuration the source of truth.  Resident stores defer
+        the decode to :meth:`materialize`."""
         col = self.cols[slot]
-        codec = self.codecs[slot]
-        rows = self.rows
         if self.backend == "numpy":
             col[indices] = codes
         else:
             for i, v in zip(indices, codes):
                 col[i] = v
+        if self.resident:
+            self.generation[slot] += 1
+            self._dirty_slots.add(slot)
+            return
+        codec = self.codecs[slot]
+        rows = self.rows
         if codec.values is None:
             for i, v in zip(indices, codes):
                 rows[i][slot] = v
@@ -439,6 +523,42 @@ class ColumnStore:
             values = codec.values
             for i, v in zip(indices, codes):
                 rows[i][slot] = values[v]
+
+    def write_col(self, slot: int, codes) -> None:
+        """Replace one slot's whole column (resident fused driver only:
+        the rows are left stale-by-design until :meth:`materialize`)."""
+        if not self.resident:
+            raise ModelError("write_col() requires a resident store")
+        if self.backend == "python" and not isinstance(codes, array):
+            codes = array("q", codes)
+        self.cols[slot] = codes
+        self.generation[slot] += 1
+        self._dirty_slots.add(slot)
+
+    @property
+    def dirty(self) -> bool:
+        """True while resident columns hold writes not yet decoded."""
+        return bool(self._dirty_slots)
+
+    def materialize(self) -> None:
+        """Decode every dirty column back into the live rows (the
+        observation boundary of resident mode).  Idempotent and cheap
+        when nothing is dirty."""
+        if not self._dirty_slots:
+            return
+        rows = self.rows
+        tolist = self.ops.tolist
+        for k in sorted(self._dirty_slots):
+            codec = self.codecs[k]
+            data = tolist(self.cols[k])
+            if codec.values is None:
+                for i, v in enumerate(data):
+                    rows[i][k] = v
+            else:
+                values = codec.values
+                for i, v in enumerate(data):
+                    rows[i][k] = values[v]
+        self._dirty_slots.clear()
 
     def __repr__(self) -> str:
         return (

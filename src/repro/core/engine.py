@@ -50,10 +50,13 @@ ProcessId = Hashable
 
 #: Engine names accepted by :func:`make_engine` (and the registry /
 #: CLI / :class:`~repro.api.ExperimentSpec` layers built on top of it).
-#: ``batch`` / ``batch-debug`` live in :mod:`repro.core.batchengine`
-#: (columnar whole-step execution with a scalar fallback) and are
-#: resolved lazily to keep this module import-light.
-ENGINE_NAMES = ("incremental", "scan", "debug", "batch", "batch-debug")
+#: ``batch`` / ``batch-debug`` / ``batch-resident`` live in
+#: :mod:`repro.core.batchengine` (columnar whole-step execution with a
+#: scalar fallback; the resident variant keeps state columnar between
+#: steps) and are resolved lazily to keep this module import-light.
+ENGINE_NAMES = (
+    "incremental", "scan", "debug", "batch", "batch-debug", "batch-resident"
+)
 
 
 class EnabledSetEngine(ABC):
@@ -400,12 +403,18 @@ def make_engine(engine: "str | EnabledSetEngine" = "incremental") -> EnabledSetE
     """
     if isinstance(engine, EnabledSetEngine):
         return engine
-    if engine in ("batch", "batch-debug") and engine not in _ENGINES:
+    if (engine in ("batch", "batch-debug", "batch-resident")
+            and engine not in _ENGINES):
         # Deferred: batchengine imports this module for the ABC.
-        from .batchengine import BatchCrossCheckEngine, BatchEngine
+        from .batchengine import (
+            BatchCrossCheckEngine,
+            BatchEngine,
+            ResidentBatchEngine,
+        )
 
         _ENGINES[BatchEngine.name] = BatchEngine
         _ENGINES[BatchCrossCheckEngine.name] = BatchCrossCheckEngine
+        _ENGINES[ResidentBatchEngine.name] = ResidentBatchEngine
     try:
         cls = _ENGINES[engine]
     except (KeyError, TypeError):

@@ -15,7 +15,7 @@ from abc import ABC, abstractmethod
 from typing import Any, Dict, Hashable, Iterable, Optional, Tuple
 
 from .actions import Actions
-from .state import Configuration
+from .state import Configuration, _intern_layout
 from .variables import VariableSpec
 
 ProcessId = Hashable
@@ -108,27 +108,48 @@ class Protocol(ABC):
         fault that corrupted every variable (self-stabilization starts
         from *any* configuration, so tests draw many of these)."""
         rng = rng or random.Random()
-        states: Dict[ProcessId, Dict[str, Any]] = {}
+        # Build the flat storage directly — same sampling sequence as
+        # the classic dict construction (per process, per spec, in
+        # declaration order), without one intermediate dict per
+        # process.  The layout cache is keyed by spec-tuple identity
+        # (protocols memoize their spec tuples per degree); the tuple
+        # is kept in the cache value so the id stays live.
+        pids = []
+        layouts = []
+        rows = []
+        layout_cache: Dict[int, Any] = {}
         for p in network.processes:
+            specs = self.variables(network, p)
+            cached = layout_cache.get(id(specs))
+            if cached is None:
+                layout = _intern_layout(tuple(s.name for s in specs))
+                layout_cache[id(specs)] = (layout, specs)
+            else:
+                layout = cached[0]
             consts = self.constant_values(network, p)
-            state: Dict[str, Any] = {}
-            for spec in self.variables(network, p):
-                if spec.kind == "const":
-                    state[spec.name] = consts[spec.name]
-                else:
-                    state[spec.name] = spec.domain.sample(rng)
-            states[p] = state
-        return Configuration(states)
+            rows.append([
+                consts[spec.name] if spec.kind == "const"
+                else spec.domain.sample(rng)
+                for spec in specs
+            ])
+            pids.append(p)
+            layouts.append(layout)
+        return Configuration.from_rows(pids, None, layouts, rows)
 
     def specs_of(self, network) -> Dict[ProcessId, Tuple[VariableSpec, ...]]:
         """Variable declarations for every process, keyed by pid."""
         return {p: self.variables(network, p) for p in network.processes}
 
     # ------------------------------------------------------------------
-    def validate_configuration(self, network, config: Configuration) -> None:
+    def validate_configuration(
+        self, network, config: Configuration, specs_of=None
+    ) -> None:
         """Raise :class:`DomainError` unless every value is in-domain and
-        every constant carries its declared value."""
-        config.validate(self.specs_of(network))
+        every constant carries its declared value.  Callers that already
+        hold the run's spec map pass it via ``specs_of`` to skip one
+        full :meth:`specs_of` rebuild."""
+        config.validate(specs_of if specs_of is not None
+                        else self.specs_of(network))
         for p in network.processes:
             for name, value in self.constant_values(network, p).items():
                 actual = config.get(p, name)

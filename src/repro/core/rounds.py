@@ -67,6 +67,28 @@ class RoundTracker:
             return True
         return False
 
+    def advance_rounds(self, count: int) -> None:
+        """Credit ``count`` closed rounds at once (fused synchronous
+        driver: every step activates all processes, so each step closes
+        exactly one round and the remainder set stays full)."""
+        if count < 0:
+            raise ValueError("cannot advance by a negative round count")
+        self._completed += count
+        if len(self._remaining) != len(self._all):
+            self._remaining = set(self._all)
+
+    def set_state(self, remaining: Iterable[ProcessId], completed: int) -> None:
+        """Restore externally-advanced accounting (fused maximal-daemon
+        driver: the round remainder is tracked as an index mask in
+        columnar space and written back at the observation boundary)."""
+        remaining = set(remaining)
+        if not remaining.issubset(self._all):
+            raise ValueError("remainder contains unknown processes")
+        if completed < self._completed:
+            raise ValueError("completed rounds cannot move backwards")
+        self._remaining = remaining if remaining else set(self._all)
+        self._completed = completed
+
     def rebind(self, processes: Sequence[ProcessId]) -> None:
         """Re-point the tracker at a mutated process set (topology churn).
 

@@ -183,7 +183,8 @@ class Simulator:
         else:
             # Private copy, normalized into the requested backend.
             config = backend(config.as_dict())
-        protocol.validate_configuration(network, config)
+        protocol.validate_configuration(network, config,
+                                        specs_of=self.specs_of)
         self._config = config
         # The canonical process list, cached once: Network.processes
         # builds a fresh list per call, far too expensive per step.
@@ -376,7 +377,7 @@ class Simulator:
             else LegacyConfiguration
         )
         config = backend(states)
-        protocol.validate_configuration(network, config)
+        protocol.validate_configuration(network, config, specs_of=specs_of)
 
         self.protocol = protocol
         self.network = network
@@ -432,10 +433,13 @@ class Simulator:
             raise ConvergenceError("scheduler selected an empty set")
 
         batch = self._batch
-        if batch is not None and (
-            self._sched_distinct or len(set(selected)) == len(selected)
-        ):
-            return self._batch_step(batch, selected, runtime)
+        if batch is not None:
+            if self._sched_distinct or len(set(selected)) == len(selected):
+                return self._batch_step(batch, selected, runtime)
+            # Scalar divert (duplicate pids): pooled contexts cache raw
+            # row references, bypassing the resident config hook — the
+            # columns must be decoded before any context reads them.
+            batch.materialize_rows()
 
         executions = []
         append = executions.append
@@ -550,8 +554,58 @@ class Simulator:
             runtime.after_step(self, closed)
         return LeanStepRecord(index, len(selected), closed)
 
+    def _fused_resident(self):
+        """The engine to hand a fused columnar run to, or None.
+
+        The fused driver covers scenario-free synchronous-daemon runs
+        (plain or ``enabled_only``) below the ``full`` metrics tier on
+        a column-resident engine; anything else — per-step records,
+        scenario hooks, exotic daemons — keeps the per-step loop, which
+        handles resident stores via the materialization hook.
+        """
+        batch = self._batch
+        if (
+            batch is not None
+            and batch.resident
+            and self.scenario_runtime is None
+            and self.metrics_tier != "full"
+            and type(self.scheduler) is SynchronousScheduler
+        ):
+            return batch
+        return None
+
+    def run_resident(
+        self,
+        steps: Optional[int] = None,
+        stop_on_silence: bool = False,
+        max_rounds: Optional[int] = None,
+    ):
+        """Drive the fused column-resident loop explicitly.
+
+        Requires an eligible run (see :meth:`run_steps` for the
+        delegation rules); returns ``(steps_executed, silent)`` from
+        :meth:`BatchEngine.run_steps <repro.core.batchengine.BatchEngine.run_steps>`.
+        """
+        engine = self._fused_resident()
+        if engine is None:
+            raise ConvergenceError(
+                "run_resident() requires an active batch-resident engine "
+                "on a scenario-free synchronous-daemon run below the "
+                "'full' metrics tier"
+            )
+        return engine.run_steps(
+            self,
+            max_steps=steps,
+            stop_on_silence=stop_on_silence,
+            round_budget=max_rounds,
+        )
+
     def run_steps(self, count: int) -> None:
         """Execute exactly ``count`` steps."""
+        engine = self._fused_resident()
+        if engine is not None and count > 0:
+            engine.run_steps(self, max_steps=count)
+            return
         for _ in range(count):
             self.step()
 
@@ -643,11 +697,20 @@ class Simulator:
         """
         if self.is_silent():
             return self._report(silent=True)
-        start_round = self.round_tracker.completed_rounds
-        while self.round_tracker.completed_rounds - start_round < max_rounds:
-            record = self.step()
-            if record.closed_round and self.is_silent():
+        engine = self._fused_resident()
+        if engine is not None:
+            _steps, silent = engine.run_steps(
+                self, stop_on_silence=True, round_budget=max_rounds
+            )
+            if silent:
                 return self._report(silent=True)
+        else:
+            start_round = self.round_tracker.completed_rounds
+            while (self.round_tracker.completed_rounds - start_round
+                   < max_rounds):
+                record = self.step()
+                if record.closed_round and self.is_silent():
+                    return self._report(silent=True)
         raise ConvergenceError(
             f"{self.protocol.name} not silent after {max_rounds} rounds "
             f"on {self.network!r} (witness: {self.silence_witness()})"

@@ -84,16 +84,21 @@ class StateView(MutableMapping):
     deletion is not supported.
     """
 
-    __slots__ = ("_row", "_layout")
+    __slots__ = ("_row", "_layout", "_sync")
 
-    def __init__(self, row: List[Any], layout: StateLayout):
+    def __init__(self, row: List[Any], layout: StateLayout, sync=None):
         self._row = row
         self._layout = layout
+        self._sync = sync
 
     def __getitem__(self, name: str) -> Any:
+        if self._sync is not None:
+            self._sync()
         return self._row[self._layout.index[name]]
 
     def __setitem__(self, name: str, value: Any) -> None:
+        if self._sync is not None:
+            self._sync()
         slot = self._layout.index.get(name)
         if slot is None:
             raise KeyError(
@@ -193,7 +198,7 @@ class Configuration(BaseConfiguration):
     still call ``Simulator.invalidate_enabled`` afterwards.
     """
 
-    __slots__ = ("_pids", "_pindex", "_layouts", "_rows")
+    __slots__ = ("_pids", "_pindex", "_layouts", "_rows", "_sync")
 
     def __init__(self, states: Mapping[ProcessId, Mapping[str, Any]]):
         pids: List[ProcessId] = []
@@ -210,16 +215,49 @@ class Configuration(BaseConfiguration):
         self._pindex = pindex
         self._layouts = layouts
         self._rows = rows
+        self._sync = None
+
+    @classmethod
+    def from_rows(cls, pids, pindex, layouts, rows) -> "Configuration":
+        """Adopt prebuilt flat storage without the dict round-trip.
+
+        The bulk construction path (``arbitrary_configuration`` over
+        large networks) samples values straight into rows; the lists are
+        adopted, not copied, so callers must hand over ownership.
+        """
+        new = cls.__new__(cls)
+        new._pids = list(pids)
+        new._pindex = pindex if pindex is not None else {
+            p: i for i, p in enumerate(new._pids)
+        }
+        new._layouts = layouts
+        new._rows = rows
+        new._sync = None
+        return new
+
+    # -- resident-backend hook ------------------------------------------
+    def install_sync(self, hook) -> None:
+        """Register ``hook`` to run before any row observation.
+
+        Column-resident engines keep pending writes in columns; the hook
+        materializes them into the rows so stray scalar reads (traces,
+        predicates, faults, direct ``config.get``) never see stale
+        state.  ``None`` uninstalls."""
+        self._sync = hook
 
     # -- access (compatibility view) ------------------------------------
     def state_of(self, p: ProcessId) -> StateView:
         """Write-through mapping view of ``p``'s state (callers must not
         abuse; out-of-band writes require engine invalidation)."""
+        if self._sync is not None:
+            self._sync()
         i = self._pindex[p]
-        return StateView(self._rows[i], self._layouts[i])
+        return StateView(self._rows[i], self._layouts[i], self._sync)
 
     def get(self, p: ProcessId, var: str) -> Any:
         """The value of variable ``var`` of process ``p``."""
+        if self._sync is not None:
+            self._sync()
         i = self._pindex[p]
         return self._rows[i][self._layouts[i].index[var]]
 
@@ -227,6 +265,8 @@ class Configuration(BaseConfiguration):
         """Write ``var`` of ``p`` in place (unvalidated; the simulator
         validates domains and, for out-of-band writes, callers must
         invalidate the enabled-set engine)."""
+        if self._sync is not None:
+            self._sync()
         i = self._pindex[p]
         slot = self._layouts[i].index.get(var)
         if slot is None:
@@ -248,7 +288,19 @@ class Configuration(BaseConfiguration):
 
     def row_of(self, p: ProcessId) -> List[Any]:
         """``p``'s value row — mutated in place, never rebound."""
+        if self._sync is not None:
+            self._sync()
         return self._rows[self._pindex[p]]
+
+    def aligned_storage(self, pids):
+        """``(layouts, rows)`` when this configuration's process order
+        matches ``pids`` exactly, else ``None`` (bulk build fast path —
+        avoids one ``row_of``/``layout_of`` pair per process)."""
+        if self._pids != list(pids):
+            return None
+        if self._sync is not None:
+            self._sync()
+        return self._layouts, self._rows
 
     def layout_of(self, p: ProcessId) -> StateLayout:
         """The interned layout addressing ``p``'s row."""
@@ -257,19 +309,49 @@ class Configuration(BaseConfiguration):
     # -- copies and projections -----------------------------------------
     def copy(self) -> "Configuration":
         """An independent deep-enough copy (rows are new lists; pids and
-        layouts are immutable and shared)."""
+        layouts are immutable and shared).  Copies are detached
+        snapshots: the resident-backend hook is not inherited."""
+        if self._sync is not None:
+            self._sync()
         new = Configuration.__new__(Configuration)
         new._pids = self._pids
         new._pindex = self._pindex
         new._layouts = self._layouts
         new._rows = [list(row) for row in self._rows]
+        new._sync = None
         return new
+
+    def validate(self, specs_of) -> None:
+        """Domain check over the flat rows directly (same errors as the
+        base implementation, without per-name dict lookups)."""
+        pindex = self._pindex
+        rows = self._rows
+        layouts = self._layouts
+        if self._sync is not None:
+            self._sync()
+        for p, specs in specs_of.items():
+            i = pindex[p]
+            row = rows[i]
+            index = layouts[i].index
+            for spec in specs:
+                slot = index.get(spec.name)
+                if slot is None:
+                    raise DomainError(
+                        f"{p!r} is missing variable {spec.name!r}"
+                    )
+                if row[slot] not in spec.domain:
+                    raise DomainError(
+                        f"value {row[slot]!r} of {spec.name}.{p!r} "
+                        f"outside its domain"
+                    )
 
     def comm_projection(
         self, specs_of: Mapping[ProcessId, Tuple[VariableSpec, ...]]
     ) -> Dict[ProcessId, Tuple[Tuple[str, Any], ...]]:
         """The communication configuration (paper §2): neighbor-readable
         variables only, as a hashable canonical form."""
+        if self._sync is not None:
+            self._sync()
         proj = {}
         for i, p in enumerate(self._pids):
             row = self._rows[i]
@@ -285,6 +367,8 @@ class Configuration(BaseConfiguration):
         self, p: ProcessId, specs: Tuple[VariableSpec, ...]
     ) -> Tuple[Tuple[str, Any], ...]:
         """Communication state of one process, canonical/hashable."""
+        if self._sync is not None:
+            self._sync()
         i = self._pindex[p]
         row = self._rows[i]
         index = self._layouts[i].index
@@ -299,6 +383,8 @@ class Configuration(BaseConfiguration):
 
     def as_dict(self) -> Dict[ProcessId, ProcessState]:
         """Deep-ish copy as plain dicts (values assumed immutable)."""
+        if self._sync is not None:
+            self._sync()
         return {
             p: dict(zip(self._layouts[i].names, self._rows[i]))
             for i, p in enumerate(self._pids)

@@ -21,21 +21,21 @@ def chain(n: int) -> Network:
     """A path of ``n`` processes: ``0 — 1 — … — n-1``."""
     if n < 1:
         raise TopologyError("chain needs at least one process")
-    return Network(nx.path_graph(n))
+    return Network(nx.path_graph(n), copy=False)
 
 
 def ring(n: int) -> Network:
     """A cycle of ``n ≥ 3`` processes."""
     if n < 3:
         raise TopologyError("ring needs at least 3 processes")
-    return Network(nx.cycle_graph(n))
+    return Network(nx.cycle_graph(n), copy=False)
 
 
 def star(leaves: int) -> Network:
     """A star: center ``0`` plus ``leaves`` pendant processes."""
     if leaves < 1:
         raise TopologyError("star needs at least one leaf")
-    return Network(nx.star_graph(leaves))
+    return Network(nx.star_graph(leaves), copy=False)
 
 
 def clique(n: int) -> Network:
@@ -43,21 +43,21 @@ def clique(n: int) -> Network:
     Δ+1 colors of protocol COLORING)."""
     if n < 2:
         raise TopologyError("clique needs at least 2 processes")
-    return Network(nx.complete_graph(n))
+    return Network(nx.complete_graph(n), copy=False)
 
 
 def grid(rows: int, cols: int) -> Network:
     """A rows×cols 2D mesh; process ids are (row, col) tuples."""
     if rows < 1 or cols < 1:
         raise TopologyError("grid dimensions must be positive")
-    return Network(nx.grid_2d_graph(rows, cols))
+    return Network(nx.grid_2d_graph(rows, cols), copy=False)
 
 
 def torus(rows: int, cols: int) -> Network:
     """A rows×cols 2D torus (4-regular when both dims ≥ 3)."""
     if rows < 3 or cols < 3:
         raise TopologyError("torus dimensions must be ≥ 3")
-    return Network(nx.grid_2d_graph(rows, cols, periodic=True))
+    return Network(nx.grid_2d_graph(rows, cols, periodic=True), copy=False)
 
 
 def hypercube(dim: int) -> Network:
@@ -65,14 +65,14 @@ def hypercube(dim: int) -> Network:
     if dim < 1:
         raise TopologyError("hypercube dimension must be ≥ 1")
     g = nx.hypercube_graph(dim)
-    return Network(nx.convert_node_labels_to_integers(g, ordering="sorted"))
+    return Network(nx.convert_node_labels_to_integers(g, ordering="sorted"), copy=False)
 
 
 def binary_tree(height: int) -> Network:
     """A complete binary tree of the given height (height 0 = one node)."""
     if height < 0:
         raise TopologyError("tree height must be ≥ 0")
-    return Network(nx.balanced_tree(2, height)) if height > 0 else chain(1)
+    return Network(nx.balanced_tree(2, height), copy=False) if height > 0 else chain(1)
 
 
 def caterpillar(spine: int, legs_per_node: int) -> Network:
@@ -89,7 +89,7 @@ def caterpillar(spine: int, legs_per_node: int) -> Network:
         for _ in range(legs_per_node):
             g.add_edge(v, next_id)
             next_id += 1
-    return Network(g)
+    return Network(g, copy=False)
 
 
 def random_connected(
@@ -102,13 +102,13 @@ def random_connected(
     for _ in range(max_tries):
         g = nx.gnp_random_graph(n, p, seed=rng.randrange(2**31))
         if n == 1 or nx.is_connected(g):
-            return Network(g)
+            return Network(g, copy=False)
     # Fall back: connect components along a random spanning chain.
     g = nx.gnp_random_graph(n, p, seed=rng.randrange(2**31))
     comps = [sorted(c) for c in nx.connected_components(g)]
     for a, b in zip(comps, comps[1:]):
         g.add_edge(a[0], b[0])
-    return Network(g)
+    return Network(g, copy=False)
 
 
 def random_regular(n: int, d: int, seed: Optional[int] = None) -> Network:
@@ -119,7 +119,7 @@ def random_regular(n: int, d: int, seed: Optional[int] = None) -> Network:
     for _ in range(200):
         g = nx.random_regular_graph(d, n, seed=rng.randrange(2**31))
         if nx.is_connected(g):
-            return Network(g)
+            return Network(g, copy=False)
     raise TopologyError(f"could not sample a connected {d}-regular graph on {n}")
 
 
@@ -147,7 +147,7 @@ def sparse_random(
     rng.shuffle(comps)
     for a, b in zip(comps, comps[1:]):
         g.add_edge(rng.choice(a), rng.choice(b))
-    return Network(g)
+    return Network(g, copy=False)
 
 
 def random_tree(n: int, seed: Optional[int] = None) -> Network:
@@ -160,4 +160,4 @@ def random_tree(n: int, seed: Optional[int] = None) -> Network:
         g = nx.random_labeled_tree(n, seed=seed)
     else:  # networkx < 3.2
         g = nx.random_tree(n, seed=seed)
-    return Network(g)
+    return Network(g, copy=False)

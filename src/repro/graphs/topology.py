@@ -37,12 +37,18 @@ class Network:
         local-index order (index ``i`` of the list is port ``i+1``).
         When omitted, a deterministic port numbering is derived from the
         graph's neighbor iteration order.
+    copy:
+        Copy ``graph`` before adopting it (the default).  Builders that
+        hand over a freshly constructed graph nobody else holds pass
+        ``copy=False`` to skip the duplication — at million-node scale
+        the defensive copy dominates the build.
     """
 
     def __init__(
         self,
         graph: nx.Graph,
         ports: Optional[Mapping[ProcessId, Sequence[ProcessId]]] = None,
+        copy: bool = True,
     ):
         if graph.number_of_nodes() == 0:
             raise TopologyError("network must have at least one process")
@@ -51,8 +57,11 @@ class Network:
         if graph.number_of_nodes() > 1 and not nx.is_connected(graph):
             raise TopologyError("network must be connected")
 
-        self._graph = graph.copy()
+        self._graph = graph.copy() if copy else graph
         self._ports: Dict[ProcessId, Tuple[ProcessId, ...]] = {}
+        #: ``p -> {q: port}`` inverse tables, built lazily by
+        #: :meth:`port_to` — only scenario churn and debug tooling ask
+        #: for them, so the eager build was pure overhead at scale.
         self._port_of: Dict[ProcessId, Dict[ProcessId, int]] = {}
 
         for p in self._graph.nodes:
@@ -67,7 +76,6 @@ class Network:
             else:
                 order = tuple(self._graph.neighbors(p))
             self._ports[p] = order
-            self._port_of[p] = {q: i + 1 for i, q in enumerate(order)}
 
         self._diameter: Optional[int] = None
 
@@ -126,8 +134,14 @@ class Network:
 
     def port_to(self, p: ProcessId, q: ProcessId) -> int:
         """The local index under which ``p`` sees its neighbor ``q``."""
+        table = self._port_of.get(p)
+        if table is None:
+            order = self._ports.get(p)
+            if order is None:
+                raise TopologyError(f"{q!r} is not a neighbor of {p!r}")
+            table = self._port_of[p] = {r: i + 1 for i, r in enumerate(order)}
         try:
-            return self._port_of[p][q]
+            return table[q]
         except KeyError:
             raise TopologyError(f"{q!r} is not a neighbor of {p!r}") from None
 
@@ -147,7 +161,7 @@ class Network:
         constructor re-validates connectivity, simplicity, non-emptiness)."""
         graph = self._graph.copy()
         mutate(graph)
-        return Network(graph, ports)
+        return Network(graph, ports, copy=False)
 
     def with_edge_added(self, p: ProcessId, q: ProcessId) -> "Network":
         """A copy with edge ``{p, q}`` added.
@@ -322,4 +336,4 @@ def network_from_edges(
     """Build a :class:`Network` from an edge list."""
     g = nx.Graph()
     g.add_edges_from(edges)
-    return Network(g, ports)
+    return Network(g, ports, copy=False)

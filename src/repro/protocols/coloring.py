@@ -47,6 +47,11 @@ class ColoringProtocol(Protocol):
         if palette_size < 2:
             raise ValueError("palette must contain at least 2 colors")
         self.palette = IntRange(1, palette_size)
+        # Spec tuples are degree-determined; memoizing them makes
+        # specs_of/arbitrary_configuration O(distinct degrees) instead
+        # of one dataclass pair per process, and lets the column store
+        # resolve codecs once per distinct tuple.
+        self._specs_by_degree = {}
 
     @classmethod
     def for_network(cls, network: Network, extra_colors: int = 0) -> "ColoringProtocol":
@@ -56,12 +61,17 @@ class ColoringProtocol(Protocol):
     # ------------------------------------------------------------------
     def variables(self, network: Network, p: ProcessId) -> Tuple[VariableSpec, ...]:
         degree = network.degree(p)
-        if degree < 1:
-            raise TopologyError("COLORING requires every process to have a neighbor")
-        return (
-            comm("C", self.palette),
-            internal("cur", IntRange(1, degree)),
-        )
+        specs = self._specs_by_degree.get(degree)
+        if specs is None:
+            if degree < 1:
+                raise TopologyError(
+                    "COLORING requires every process to have a neighbor"
+                )
+            specs = self._specs_by_degree[degree] = (
+                comm("C", self.palette),
+                internal("cur", IntRange(1, degree)),
+            )
+        return specs
 
     def actions(self) -> Tuple[GuardedAction, ...]:
         def clash(ctx) -> bool:
@@ -144,3 +154,39 @@ class ColoringBatchKernel(BatchKernel):
                     comm.append(i)
             writes.append((self._c, rec_idx, new_c))
         return writes, comm
+
+    # -- resident-mode extensions ---------------------------------------
+    def plan_writes_resident(self, codes, aux, rng):
+        """Whole-network resident step: ``cur`` rotates as one column
+        replacement; only clashing processes pay a sparse write (palette
+        draws in selection order, the same sequence ``plan_writes``
+        produces for the full network)."""
+        cur, _c, clash = aux
+        store = self.store
+        o = store.ops
+        store.write_col(self._cur, o.add(o.mod(cur, store.deg), 1))
+        rec_idx = o.compress_list(store.all_idx, clash)
+        if rec_idx:
+            sample = self.protocol.palette.sample
+            store.write(self._c, rec_idx, [sample(rng) for _ in rec_idx])
+
+    def silent_cols(self) -> bool:
+        """Silence straight from the columns: COLORING is silent exactly
+        when the coloring is proper — a clashing edge keeps ``recolor``
+        reachable via the ``cur`` rotation, a proper coloring disables
+        it everywhere (the property suite pins this equivalence against
+        the exact scalar checker)."""
+        store = self.store
+        c = store.col(self._c)
+        if store.backend == "numpy":
+            np = store.ops.np
+            clash = c[store.nbr] == c[:, None]
+            valid = (np.arange(store.max_degree)[None, :]
+                     < store.deg[:, None])
+            return not bool((clash & valid).any())
+        for i, nb in enumerate(store.nbr):
+            ci = c[i]
+            for j in nb:
+                if c[j] == ci:
+                    return False
+        return True

@@ -57,18 +57,27 @@ class MatchingProtocol(Protocol):
         self._color_domain = IntRange(
             min(self.colors.values()), max(self.colors.values())
         )
+        # Spec tuples are degree-determined (the color constant's
+        # per-process *value* lives in constant_values); memoized so
+        # specs_of costs O(distinct degrees) dataclass builds.
+        self._specs_by_degree: Dict[int, Tuple[VariableSpec, ...]] = {}
 
     # ------------------------------------------------------------------
     def variables(self, network: Network, p: ProcessId) -> Tuple[VariableSpec, ...]:
         degree = network.degree(p)
-        if degree < 1:
-            raise TopologyError("MATCHING requires every process to have a neighbor")
-        return (
-            comm("M", BOOL),
-            comm("PR", IntRange(0, degree)),
-            const("C", self._color_domain),
-            internal("cur", IntRange(1, degree)),
-        )
+        specs = self._specs_by_degree.get(degree)
+        if specs is None:
+            if degree < 1:
+                raise TopologyError(
+                    "MATCHING requires every process to have a neighbor"
+                )
+            specs = self._specs_by_degree[degree] = (
+                comm("M", BOOL),
+                comm("PR", IntRange(0, degree)),
+                const("C", self._color_domain),
+                internal("cur", IntRange(1, degree)),
+            )
+        return specs
 
     def constant_values(self, network: Network, p: ProcessId) -> Dict[str, int]:
         return {"C": self.colors[p]}

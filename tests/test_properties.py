@@ -247,6 +247,38 @@ class TestBatchKernelProperties:
             assert sim.is_legitimate()
         assert sim.config.comm_projection(sim.specs_of) == before
 
+    @given(
+        networks,
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from(("coloring", "mis", "matching")),
+        st.integers(min_value=0, max_value=12),
+    )
+    @SLOW
+    def test_resident_prefix_closure(self, net, seed, protocol, prefix):
+        """Resident/scalar closure: after *any* prefix of fused
+        column-resident steps, materializing and continuing scalar is
+        indistinguishable from having run scalar all along."""
+        resident = Simulator(
+            _paper_protocol(protocol, net), net,
+            scheduler=SynchronousScheduler(),
+            seed=seed, engine="batch-resident", metrics="aggregate",
+        )
+        scalar = Simulator(
+            _paper_protocol(protocol, net), net,
+            scheduler=SynchronousScheduler(),
+            seed=seed, metrics="aggregate",
+        )
+        resident.run_resident(steps=prefix)
+        scalar.run_steps(prefix)
+        if resident.engine.batch_active:
+            resident.engine._store.materialize()
+        assert resident.config == scalar.config
+        assert resident.metrics.summary() == scalar.metrics.summary()
+        # one more *scalar* step from the materialized state stays in
+        # lockstep — the decoded rows are a faithful resume point
+        assert resident.step() == scalar.step()
+        assert resident.config == scalar.config
+
 
 class TestSilenceCheckerProperties:
     @given(networks, st.integers(min_value=0, max_value=10_000))
