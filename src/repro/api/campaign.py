@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import (
@@ -44,6 +45,7 @@ from typing import (
     Union,
 )
 
+from ..obs.registry import TELEMETRY
 from .spec import ExperimentSpec
 
 #: A grid axis entry: "coloring", ("gnp", {"n": 30, "p": 0.2}), or
@@ -270,6 +272,9 @@ class Campaign:
             else:
                 pending.append(spec)
 
+        from ..results.sinks import SqliteSink
+
+        t_start = time.perf_counter()
         try:
             if workers and workers >= 2 and len(pending) > 1:
                 runner = self._run_pool(pending, workers)
@@ -282,9 +287,32 @@ class Campaign:
                     sink_obj.write(key, spec, result)
                 if progress is not None:
                     progress(spec, result)
+            wall = time.perf_counter() - t_start
+            # Sqlite sinks get a per-campaign telemetry row regardless of
+            # the registry switch: the summary is cheap, already computed,
+            # and is what `/progress` and `repro top` fall back to after
+            # the fact.  Recorded here, while the store is still open.
+            if isinstance(sink_obj, SqliteSink):
+                sink_obj.store.record_telemetry(sink_obj.run_id, {
+                    "trials": len(self.specs),
+                    "executed": len(pending),
+                    "resumed": skipped,
+                    "workers": workers,
+                    "wall_time_s": wall,
+                    "trials_per_s": (len(pending) / wall) if wall > 0
+                                    else None,
+                }, source="campaign")
         finally:
             if sink_obj is not None:
                 sink_obj.close()
+
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("campaign.executed").inc(len(pending))
+            TELEMETRY.counter("campaign.resumed").inc(skipped)
+            TELEMETRY.record_span(
+                "campaign.run", wall, trials=len(self.specs),
+                executed=len(pending), resumed=skipped, workers=workers,
+            )
 
         return CampaignOutcome(
             specs=list(self.specs),

@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional
 
 from ..core.metrics import METRICS_TIERS
+from ..obs.registry import TELEMETRY
 from ..core.simulator import Simulator
 from .registry import (
     engine_registry,
@@ -268,7 +270,18 @@ def execute_trial(protocol, network, scheduler, seed: int = 0,
     sim = Simulator(protocol, network, scheduler=scheduler, seed=seed,
                     engine=engine, metrics=metrics, scenario=scenario,
                     protocol_factory=protocol_factory)
+    obs_on = TELEMETRY.enabled
+    t0 = time.perf_counter() if obs_on else 0.0
     report = drive_simulator(sim, max_rounds=max_rounds)
+    if obs_on:
+        wall = time.perf_counter() - t0
+        TELEMETRY.counter("trial.executed").inc()
+        TELEMETRY.histogram("trial.wall_s").observe(wall)
+        TELEMETRY.record_span(
+            "trial.execute", wall, protocol=protocol.name,
+            scheduler=sim.scheduler.name, n=sim.network.n, seed=seed,
+            steps=report.steps, rounds=report.rounds,
+        )
     # Churn may have replaced the network mid-run; report the final one.
     network = sim.network
     return TrialResult(

@@ -58,6 +58,7 @@ from .api.campaign import iter_campaign_results
 from .core.metrics import METRICS_TIERS
 from .experiments import format_table
 from .graphs import Network, greedy_coloring
+from .obs.registry import TELEMETRY
 from .results import (
     DEFAULT_GROUP_BY,
     DEFAULT_METRICS,
@@ -69,6 +70,7 @@ from .results import (
     diff_bench,
     diff_runs_detailed,
     parse_where,
+    query_csv,
     query_table,
     recipe_table,
     split_csv,
@@ -189,6 +191,9 @@ def _render(protocol_name: str, network, config) -> str:
 # ----------------------------------------------------------------------
 def cmd_run(args) -> int:
     spec = spec_from_args(args, max_rounds=args.max_rounds)
+    if getattr(args, "telemetry", False) or getattr(args, "spans_out", None):
+        args.telemetry = True
+        TELEMETRY.enable()
     sim = spec.build_simulator()
     profile_path = getattr(args, "profile", None)
     if profile_path:
@@ -204,7 +209,15 @@ def cmd_run(args) -> int:
             print(f"cProfile stats written to {profile_path} "
                   f"(inspect with python -m pstats)")
     else:
+        import time as _time
+
+        t0 = _time.perf_counter()
         report = drive_simulator(sim, max_rounds=args.max_rounds)
+        TELEMETRY.record_span(
+            "cli.run", _time.perf_counter() - t0,
+            protocol=args.protocol, n=sim.network.n,
+            steps=report.steps, rounds=report.rounds,
+        )
     # Read protocol/network after the run: churn may have replaced them.
     protocol, network = sim.protocol, sim.network
     print(f"{protocol.name} on {args.topology} "
@@ -231,6 +244,15 @@ def cmd_run(args) -> int:
         print(f"  Lemma 9 round bound: {matching_round_bound(network)}")
     if args.render:
         print(_render(args.protocol, network, sim.config))
+    if getattr(args, "telemetry", False):
+        snap = TELEMETRY.snapshot()
+        counters = ", ".join(f"{name}={value}" for name, value
+                             in sorted(snap["counters"].items()) if value)
+        print(f"  telemetry: {counters or '(no events)'}")
+        spans_out = getattr(args, "spans_out", None)
+        if spans_out:
+            written = TELEMETRY.export_spans_jsonl(spans_out)
+            print(f"  {written} span records -> {spans_out}")
     return 0
 
 
@@ -376,6 +398,13 @@ def cmd_campaign(args) -> int:
                   f"steps={result.steps} k-eff={result.k_efficiency} "
                   f"stabilized={result.legitimate and result.silent}")
 
+    profile_path = getattr(args, "profile", None)
+    profiler = None
+    if profile_path:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         outcome = campaign.run(
             out=args.out,
@@ -387,6 +416,12 @@ def cmd_campaign(args) -> int:
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(profile_path)
+            print(f"cProfile stats written to {profile_path} "
+                  f"(inspect with python -m pstats)")
 
     print(f"done: {outcome.executed} executed, {outcome.skipped} resumed"
           + (f" -> {args.out}" if args.out else ""))
@@ -480,6 +515,10 @@ def cmd_query(args) -> int:
                              for m, agg in g.aggregates.items()}}
                 for g in groups
             ], indent=2, sort_keys=True))
+        elif args.csv:
+            # Same renderer the service's ?format=csv uses — full
+            # precision, proper quoting.
+            print(query_csv(groups, group_by, metrics), end="")
         else:
             print(query_table(
                 groups, group_by, metrics,
@@ -667,16 +706,21 @@ def cmd_fabric_worker(args) -> int:
     """Execute one shard file (the per-host / per-process entry)."""
     from .fabric import run_worker_file
 
-    return run_worker_file(args.shard_file, quiet=args.quiet)
+    return run_worker_file(args.shard_file, quiet=args.quiet,
+                           profile=getattr(args, "profile", None))
 
 
 def cmd_serve(args) -> int:
     """Serve a results store over HTTP (read-only, WAL-live)."""
     from .fabric import ENDPOINTS, ResultService
 
+    # The serving process is observability infrastructure: its own
+    # request counters belong on /metrics, so flip the registry on.
+    TELEMETRY.enable()
     try:
         service = ResultService(args.store, host=args.host,
-                                port=args.port, quiet=args.quiet)
+                                port=args.port, quiet=args.quiet,
+                                plan_dir=getattr(args, "plan_dir", None))
     except ValueError as exc:
         raise SystemExit(str(exc))
     print(f"serving {args.store} at {service.url}")
@@ -688,6 +732,20 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def cmd_top(args) -> int:
+    """The refreshing one-screen live view of a campaign in flight."""
+    # Local import — repro.obs.top pulls in the fabric heartbeat reader.
+    from .obs.top import run_top
+
+    return run_top(
+        args.target,
+        interval_s=args.interval,
+        iterations=1 if args.once else None,
+        clear=not args.once,
+        stall_timeout_s=args.stall_timeout,
+    )
 
 
 def cmd_prune(args) -> int:
@@ -765,6 +823,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "stats to this path (inspect with "
                           "python -m pstats)")
     run.add_argument("--render", action="store_true")
+    run.add_argument("--telemetry", action="store_true",
+                     help="enable the telemetry registry for this run and "
+                          "print the counter snapshot (results are "
+                          "byte-identical either way)")
+    run.add_argument("--spans-out", default=None, metavar="JSONL",
+                     help="export buffered span records to this JSONL "
+                          "file after the run (implies --telemetry)")
     run.set_defaults(fn=cmd_run)
 
     stab = sub.add_parser("stability", help="measure ♦-(x,1)-stability")
@@ -848,6 +913,11 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--shards", type=int, default=None,
                       help="fabric shard count (default: one per "
                            "worker; more = finer recovery units)")
+    camp.add_argument("--profile", default=None, metavar="PSTATS",
+                      help="profile the campaign driver under cProfile "
+                           "and dump the stats to this path (serial "
+                           "execution profiles the trials themselves; "
+                           "pool/fabric workers are separate processes)")
     camp.add_argument("--quiet", action="store_true",
                       help="suppress per-trial lines")
     camp.set_defaults(fn=cmd_campaign)
@@ -918,6 +988,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ShardTask JSON from the coordinator or "
                               "`repro fabric plan`")
     fabwork.add_argument("--quiet", action="store_true")
+    fabwork.add_argument("--profile", default=None, metavar="PSTATS",
+                         help="profile the shard under cProfile; the "
+                              "dump lands at PSTATS.shard-N.pstats so "
+                              "per-worker profiles never collide")
     fabwork.set_defaults(fn=cmd_fabric_worker)
 
     serve = sub.add_parser(
@@ -933,9 +1007,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8349,
                        help="0 picks an ephemeral port")
+    serve.add_argument("--plan-dir", default=None,
+                       help="fabric plan dir for /progress heartbeat "
+                            "fan-in (default: STORE.fabric when it "
+                            "exists)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request log lines")
     serve.set_defaults(fn=cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="refreshing one-screen live view of a campaign in flight",
+        description="TARGET is a fabric plan dir (heartbeats are read "
+                    "from disk) or a running `repro serve` URL (its "
+                    "/progress endpoint is polled). Shows workers, "
+                    "trials/s, ETA and stalls; Ctrl-C to stop.",
+    )
+    top.add_argument("target",
+                     help="plan dir (e.g. results.sqlite.fabric) or "
+                          "service URL (e.g. http://127.0.0.1:8349)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes (default 2)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (no screen "
+                          "clearing; for scripts and smoke tests)")
+    top.add_argument("--stall-timeout", type=float, default=10.0,
+                     help="heartbeats older than this many seconds "
+                          "count as stalled (default 10)")
+    top.set_defaults(fn=cmd_top)
 
     prune = sub.add_parser(
         "prune",
@@ -1007,6 +1106,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "to scientific notation)")
     query.add_argument("--markdown", action="store_true",
                        help="emit a markdown table")
+    query.add_argument("--csv", action="store_true",
+                       help="emit CSV (full precision, same renderer as "
+                            "the service's ?format=csv)")
     query.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead")
     query.set_defaults(fn=cmd_query)

@@ -48,13 +48,18 @@ without returning to Python rows in between.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple, Type
 
+from ..obs.registry import TELEMETRY
 from .actions import first_enabled
 from .columns import ColumnStore
 from .engine import EnabledSetEngine, IncrementalEngine
 from .exceptions import ModelError
 from .metrics import StepRecord
+
+#: fused-span length buckets (steps per ``run_steps`` invocation).
+_SPAN_BUCKETS = (1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0)
 
 ProcessId = Hashable
 
@@ -316,13 +321,19 @@ class BatchEngine(EnabledSetEngine):
         store = self._store
         sel_idx = list(map(store.pindex.__getitem__, selected))
         idx = store.ops.int_col(sel_idx)
+        obs_on = TELEMETRY.enabled
+        t0 = perf_counter() if obs_on else 0.0
         codes, ports, bits, aux = self._kernel.classify(idx)
+        t1 = perf_counter() if obs_on else 0.0
         self._audit_step(selected, sel_idx, codes, ports, bits)
         writes, _comm_idx = self._kernel.plan_writes(idx, codes, aux, rng)
         for slot, w_idx, w_vals in writes:
             if w_idx:
                 store.write(slot, w_idx, w_vals)
         self._drop_enabled_cache()
+        if obs_on:
+            TELEMETRY.histogram("engine.classify_s").observe(t1 - t0)
+            TELEMETRY.histogram("engine.plan_s").observe(perf_counter() - t1)
         return BatchOutcome(selected, sel_idx, idx, codes, ports, bits)
 
     def _audit_step(self, selected, sel_idx, codes, ports, bits) -> None:
@@ -388,6 +399,13 @@ class BatchEngine(EnabledSetEngine):
         steps = 0
         silent = None
         all_sel = None if numpy else list(range(n))
+        # Telemetry is sampled at the span boundary, never inside the
+        # fused loop: one enabled-check + one clock read per
+        # ``run_steps`` call keeps the disabled path inside the ≤2%
+        # resident-throughput floor.
+        obs_on = TELEMETRY.enabled
+        span_t0 = perf_counter() if obs_on else 0.0
+        activations = 0
 
         if not sim._enabled_pool:
             # Synchronous daemon: every step activates every process,
@@ -418,6 +436,7 @@ class BatchEngine(EnabledSetEngine):
             if stop_on_silence and silent is None:
                 silent = False
             tracker.advance_rounds(closed_rounds)
+            activations = steps * n  # full-network activation per step
         else:
             # Maximal daemon (``enabled_only``): the pool is the
             # enabled set (all processes when it is empty — no-op
@@ -462,6 +481,7 @@ class BatchEngine(EnabledSetEngine):
                     completed += 1
                     pending = set(range(n))
                 steps += 1
+                activations += len(sel)
                 if collector is not None:
                     self.fold_aggregate(
                         BatchOutcome(None, sel, idx, codes, ports, bits),
@@ -475,6 +495,17 @@ class BatchEngine(EnabledSetEngine):
             tracker.set_state({pids[i] for i in pending}, completed)
         self._drop_enabled_cache()
         sim.step_index += steps
+        if obs_on:
+            TELEMETRY.counter("sim.steps").inc(steps)
+            TELEMETRY.counter("sim.activations").inc(activations)
+            TELEMETRY.histogram(
+                "engine.fused_span_steps", buckets=_SPAN_BUCKETS
+            ).observe(steps)
+            TELEMETRY.record_span(
+                "engine.run_steps", perf_counter() - span_t0,
+                n=n, steps=steps, activations=activations,
+                resident=self.resident, silent=silent,
+            )
         return steps, silent
 
     # ------------------------------------------------------------------

@@ -55,6 +55,7 @@ from array import array
 from itertools import chain, repeat
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
+from ..obs.registry import TELEMETRY
 from .exceptions import ModelError
 from .variables import FiniteSet, IntRange
 
@@ -546,6 +547,12 @@ class ColumnStore:
         when nothing is dirty."""
         if not self._dirty_slots:
             return
+        if TELEMETRY.enabled:
+            # Decode events are the resident engine's cost center: the
+            # whole point of column residency is keeping this count low.
+            TELEMETRY.counter("columns.materializations").inc()
+            TELEMETRY.counter("columns.materialized_slots").inc(
+                len(self._dirty_slots))
         rows = self.rows
         tolist = self.ops.tolist
         for k in sorted(self._dirty_slots):

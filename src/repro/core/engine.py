@@ -40,8 +40,10 @@ enabled-status pays almost nothing.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from time import perf_counter
 from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Set, Tuple
 
+from ..obs.registry import TELEMETRY
 from .actions import first_enabled
 from .context import StepContextPool
 from .exceptions import ModelError
@@ -330,9 +332,18 @@ class IncrementalEngine(EnabledSetEngine):
             self._stale_all = False
             self._dirty.clear()
             self._list = None
+            if TELEMETRY.enabled:
+                TELEMETRY.counter("engine.incremental.rescans").inc()
+                TELEMETRY.gauge("engine.enabled_set").set(len(self._enabled))
             return
         if not self._dirty:
             return
+        # Telemetry stays out of the early-return paths above; a flush
+        # with work to do pays one enabled-check (plus clock reads only
+        # while the registry is on).
+        obs_on = TELEMETRY.enabled
+        t0 = perf_counter() if obs_on else 0.0
+        dirty_count = len(self._dirty)
         enabled = self._enabled
         changed = False
         for p in self._dirty:
@@ -346,6 +357,12 @@ class IncrementalEngine(EnabledSetEngine):
         self._dirty.clear()
         if changed:
             self._list = None
+        if obs_on:
+            TELEMETRY.counter(
+                "engine.incremental.reclassified").inc(dirty_count)
+            TELEMETRY.histogram("engine.flush_s").observe(
+                perf_counter() - t0)
+            TELEMETRY.gauge("engine.enabled_set").set(len(enabled))
 
     def enabled_set(self) -> FrozenSet[ProcessId]:
         self._flush()

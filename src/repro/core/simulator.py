@@ -38,6 +38,7 @@ from .actions import first_enabled
 from .context import StepContext, StepContextPool
 from .engine import EnabledSetEngine, make_engine
 from .exceptions import ConvergenceError
+from ..obs.registry import TELEMETRY
 from .metrics import METRICS_TIERS, LeanStepRecord, MetricsCollector, StepRecord
 from .protocol import Protocol
 from .rngstreams import RngStreams
@@ -214,6 +215,12 @@ class Simulator:
             if state == "flat"
             else None
         )
+        # Telemetry handles, fetched once: the step loop pays a single
+        # ``enabled`` attribute check per step, and allocation-free
+        # ``inc`` calls only while the registry is switched on.
+        self._obs = TELEMETRY
+        self._obs_steps = TELEMETRY.counter("sim.steps")
+        self._obs_activations = TELEMETRY.counter("sim.activations")
         self._protocol_factory = protocol_factory
         #: audit log of out-of-band fault writes (``FaultReport``-like
         #: objects appended by :meth:`note_fault`; the trace recorder
@@ -495,6 +502,9 @@ class Simulator:
 
         index = self.step_index
         self.step_index = index + 1
+        if self._obs.enabled:
+            self._obs_steps.inc()
+            self._obs_activations.inc(len(selected))
         tier = self.metrics_tier
         if tier == "full":
             record = StepRecord(
@@ -541,6 +551,9 @@ class Simulator:
 
         index = self.step_index
         self.step_index = index + 1
+        if self._obs.enabled:
+            self._obs_steps.inc()
+            self._obs_activations.inc(len(selected))
         tier = self.metrics_tier
         if tier == "full":
             record = engine.make_step_record(index, outcome, closed)

@@ -29,6 +29,7 @@ That equivalence is regression-tested (``tests/test_fabric.py``).
 
 from __future__ import annotations
 
+import glob
 import os
 import shutil
 import subprocess
@@ -37,6 +38,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from ..obs.registry import TELEMETRY
 from ..results.store import ResultStore
 from .heartbeat import read_heartbeat
 from .plan import ShardTask, build_plan, shard_file_path
@@ -62,6 +64,11 @@ class FabricOutcome:
     #: keys still absent after retries were exhausted
     missing: List[str] = field(default_factory=list)
     wall_time_s: float = 0.0
+    #: heartbeat stalls the watch loop killed (requeue causes)
+    stalls: int = 0
+    #: stale heartbeat files removed after a clean finish — a finished
+    #: campaign must not read as a live one to ``/progress``/``repro top``
+    heartbeats_cleaned: int = 0
 
     @property
     def ok(self) -> bool:
@@ -71,10 +78,13 @@ class FabricOutcome:
     def describe(self) -> str:
         """One summary line for logs and the CLI."""
         tail = "ok" if self.ok else f"{len(self.missing)} MISSING"
-        return (f"fabric run {self.run_id!r}: {self.executed} executed, "
+        line = (f"fabric run {self.run_id!r}: {self.executed} executed, "
                 f"{self.resumed} resumed, {self.requeued} requeued over "
                 f"{self.shards} shards x {self.workers} workers "
                 f"in {self.wall_time_s:.1f}s -> {self.store_path} [{tail}]")
+        if self.heartbeats_cleaned:
+            line += f" ({self.heartbeats_cleaned} stale heartbeats cleaned)"
+        return line
 
 
 class _ShardState:
@@ -149,6 +159,7 @@ class Coordinator:
         self.chaos_kills = chaos_kills
         self._progress = progress
         self._requeued = 0
+        self._stalls = 0
 
     # ------------------------------------------------------------------
     def _log(self, message: str) -> None:
@@ -159,6 +170,7 @@ class Coordinator:
         """Execute the campaign through the fabric; see module docs."""
         t0 = time.perf_counter()
         self._requeued = 0
+        self._stalls = 0
         all_keys = [spec.key() for spec in self.campaign.specs]
         with ResultStore(self.store_path) as store:
             run_id = store.begin_run(
@@ -194,22 +206,57 @@ class Coordinator:
             missing = [k for k in all_keys if k not in completed]
             wall = time.perf_counter() - t0
             store.finish_run(run_id, wall)
+            executed = len(all_keys) - resumed - len(missing)
+            # Campaign-level telemetry snapshot, next to the trials it
+            # describes (the warehouse `telemetry` table).
+            store.record_telemetry(run_id, {
+                "total": len(all_keys),
+                "executed": executed,
+                "resumed": resumed,
+                "missing": len(missing),
+                "requeued": self._requeued,
+                "stalls": self._stalls,
+                "shards": len(states) if states else 0,
+                "workers": self.workers,
+                "wall_time_s": round(wall, 3),
+                "trials_per_s": (round(executed / wall, 3)
+                                 if wall > 0 else None),
+            }, source="fabric")
         outcome = FabricOutcome(
             run_id=run_id,
             store_path=self.store_path,
             total=len(all_keys),
-            executed=len(all_keys) - resumed - len(missing),
+            executed=executed,
             resumed=resumed,
             requeued=self._requeued,
             shards=len(states) if states else 0,
             workers=self.workers,
             missing=missing,
             wall_time_s=wall,
+            stalls=self._stalls,
         )
-        if outcome.ok and not self.keep_shards:
-            shutil.rmtree(self.workdir, ignore_errors=True)
+        if outcome.ok:
+            # A clean finish must not leave heartbeat files behind: a
+            # dashboard pointed at the plan dir would keep reporting a
+            # "running" campaign forever (kept-shard runs and
+            # `fabric plan` dirs outlive the rmtree below).
+            outcome.heartbeats_cleaned = self._clean_heartbeats()
+            if not self.keep_shards:
+                shutil.rmtree(self.workdir, ignore_errors=True)
         self._log(outcome.describe())
         return outcome
+
+    def _clean_heartbeats(self) -> int:
+        """Remove every heartbeat file in the workdir; returns count."""
+        cleaned = 0
+        pattern = os.path.join(self.workdir, "heartbeat-*.json")
+        for path in glob.glob(pattern):
+            try:
+                os.remove(path)
+                cleaned += 1
+            except OSError:
+                pass
+        return cleaned
 
     # ------------------------------------------------------------------
     def _plan(self, pending, run_id: str) -> List[_ShardState]:
@@ -298,6 +345,9 @@ class Coordinator:
                                   f"(no heartbeat for "
                                   f">{self.heartbeat_timeout_s:.0f}s), "
                                   f"killing pid {state.proc.pid}")
+                        self._stalls += 1
+                        if TELEMETRY.enabled:
+                            TELEMETRY.counter("fabric.stalls").inc()
                         state.proc.kill()
                         returncode = state.proc.wait()
                     active.remove(state)
@@ -316,6 +366,8 @@ class Coordinator:
                                   f"exit {returncode})")
                         continue
                     self._requeued += 1
+                    if TELEMETRY.enabled:
+                        TELEMETRY.counter("fabric.requeues").inc()
                     state.task = state.task.without_chaos()
                     state.task.write(state.shard_file)
                     state.next_launch_at = (

@@ -38,6 +38,12 @@ class Heartbeat:
     status: str  # "running" | "done" | "failed"
     updated_at: float  # epoch seconds (time.time)
     error: Optional[str] = None
+    #: telemetry fold-ins (PR 10) — optional so heartbeat files written
+    #: by older workers (and files read by older coordinators) keep
+    #: round-tripping: fresh-trial throughput since the worker started,
+    #: and the store-commit latency of the most recent trial.
+    trials_per_s: Optional[float] = None
+    commit_s: Optional[float] = None
 
     def age_s(self, now: Optional[float] = None) -> float:
         """Seconds since the worker last wrote this heartbeat."""
@@ -50,7 +56,7 @@ class Heartbeat:
         return self.status == "done"
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "shard": self.shard,
             "pid": self.pid,
             "completed": self.completed,
@@ -59,6 +65,14 @@ class Heartbeat:
             "updated_at": self.updated_at,
             "error": self.error,
         }
+        # Telemetry fields only appear once the worker has measured
+        # something — files stay byte-compatible with pre-telemetry
+        # readers that index strictly by the core keys.
+        if self.trials_per_s is not None:
+            out["trials_per_s"] = self.trials_per_s
+        if self.commit_s is not None:
+            out["commit_s"] = self.commit_s
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Heartbeat":
@@ -70,6 +84,8 @@ class Heartbeat:
             status=data["status"],
             updated_at=float(data["updated_at"]),
             error=data.get("error"),
+            trials_per_s=data.get("trials_per_s"),
+            commit_s=data.get("commit_s"),
         )
 
 

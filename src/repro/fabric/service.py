@@ -9,35 +9,50 @@ none of the in-flight one, and aggregates grow monotonically.
 
 Endpoints (all ``GET``):
 
-========== =========================================================
-``/``        endpoint index
-``/health``  liveness + store totals
-``/runs``    stored runs with provenance and trial counts
-``/query``   grouped statistics (``metrics``, ``group_by``, ``where``,
-             ``run`` parameters — same vocabulary as ``repro query``)
-``/report``  rendered table: a named ``recipe`` or ad-hoc axes
-``/compare`` two runs diffed cell-by-cell (``runs=a,b``,
-             ``threshold``)
-========== =========================================================
+============ =========================================================
+``/``         endpoint index
+``/health``   liveness + store totals
+``/runs``     stored runs with provenance and trial counts
+``/query``    grouped statistics (``metrics``, ``group_by``, ``where``,
+              ``run`` parameters — same vocabulary as ``repro query``)
+``/report``   rendered table: a named ``recipe`` or ad-hoc axes
+``/compare``  two runs diffed cell-by-cell (``runs=a,b``,
+              ``threshold``)
+``/progress`` live trial deltas + fabric heartbeat fan-in (what
+              ``repro top <url>`` polls)
+``/metrics``  the process telemetry registry in Prometheus text
+              exposition format (v0.0.4)
+============ =========================================================
 
-Responses negotiate format: ``?format=json|markdown`` wins, else an
-``Accept: text/markdown`` header, else JSON.  Bad parameters are 400
-with a JSON error body; an unreadable store is 503 — the service stays
-up while a store is being moved or pruned.
+Responses negotiate format: ``?format=json|markdown|csv`` wins, else
+an ``Accept: text/markdown`` / ``text/csv`` header, else JSON (CSV is
+honored by ``/query``, ``/runs`` and ``/report``; ``/progress`` is
+always JSON and ``/metrics`` always Prometheus text).  Bad parameters
+are 400 with a JSON error body; an unreadable store is 503 — the
+service stays up while a store is being moved or pruned.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 from dataclasses import asdict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs.prom import render_prometheus
+from ..obs.registry import TELEMETRY
 from ..results.diff import diff_runs_detailed
 from ..results.params import coerce_scalar, parse_where, split_csv
-from ..results.report import recipe_table, query_table, REPORT_RECIPES
+from ..results.report import (
+    REPORT_RECIPES,
+    csv_text,
+    query_csv,
+    query_table,
+    recipe_table,
+)
 from ..results.store import (
     DEFAULT_GROUP_BY,
     DEFAULT_METRICS,
@@ -52,20 +67,29 @@ ENDPOINTS = {
     "/query": "grouped statistics (metrics, group_by, where, run)",
     "/report": "rendered table (recipe=NAME, or metrics/group_by/where)",
     "/compare": "diff two runs (runs=a,b, threshold, metrics, group_by)",
+    "/progress": "live trial deltas + fabric heartbeat fan-in (run, "
+                 "plan_dir)",
+    "/metrics": "process telemetry in Prometheus text format",
 }
 
 
 def _pick_format(params: Dict[str, List[str]], accept: str) -> str:
-    """``json`` or ``markdown`` — explicit param beats Accept header."""
+    """``json``, ``markdown`` or ``csv`` — param beats Accept header."""
     wanted = params.get("format", [None])[-1]
     if wanted is not None:
         if wanted in ("json",):
             return "json"
         if wanted in ("markdown", "md"):
             return "markdown"
-        raise ValueError(f"unknown format {wanted!r}; use json or markdown")
-    if "text/markdown" in (accept or ""):
+        if wanted in ("csv",):
+            return "csv"
+        raise ValueError(
+            f"unknown format {wanted!r}; use json, markdown or csv")
+    accept = accept or ""
+    if "text/markdown" in accept:
         return "markdown"
+    if "text/csv" in accept:
+        return "csv"
     return "json"
 
 
@@ -122,10 +146,16 @@ class _Handler(BaseHTTPRequestHandler):
             text += "\n"
         self._send(status, text, "text/markdown")
 
+    def _send_csv(self, text: str, status: int = 200) -> None:
+        self._send(status, text, "text/csv")
+
     # -- dispatch ------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib name)
         url = urlsplit(self.path)
         params = parse_qs(url.query, keep_blank_values=True)
+        path = url.path.rstrip("/") or "/"
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("service.requests", endpoint=path).inc()
         try:
             fmt = _pick_format(params, self.headers.get("Accept", ""))
             handler = {
@@ -135,7 +165,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "/query": self._handle_query,
                 "/report": self._handle_report,
                 "/compare": self._handle_compare,
-            }.get(url.path.rstrip("/") or "/")
+                "/progress": self._handle_progress,
+                "/metrics": self._handle_metrics,
+            }.get(path)
             if handler is None:
                 self._send_json({"error": f"no such endpoint {url.path!r}",
                                  "endpoints": sorted(ENDPOINTS)}, status=404)
@@ -190,6 +222,11 @@ class _Handler(BaseHTTPRequestHandler):
                      + (f" ({r['label']})" if r["label"] else "")
                      for r in runs]
             self._send_markdown("\n".join(lines) if lines else "(no runs)")
+        elif fmt == "csv":
+            headers = (list(runs[0]) if runs
+                       else ["run_id", "label", "trials"])
+            self._send_csv(csv_text(
+                headers, [[r[h] for h in headers] for r in runs]))
         else:
             self._send_json({"runs": runs})
 
@@ -211,6 +248,8 @@ class _Handler(BaseHTTPRequestHandler):
         if fmt == "markdown":
             self._send_markdown(query_table(
                 groups, group_by, metrics, title="query", markdown=True))
+        elif fmt == "csv":
+            self._send_csv(query_csv(groups, group_by, metrics))
         else:
             self._send_json(payload)
 
@@ -231,6 +270,10 @@ class _Handler(BaseHTTPRequestHandler):
                 groups = store.query(metrics=spec.metrics,
                                      where=dict(spec.where),
                                      group_by=spec.group_by, run_id=run)
+                if fmt == "csv":
+                    self._send_csv(query_csv(
+                        groups, spec.group_by, spec.metrics))
+                    return
                 payload = _groups_payload(groups, spec.group_by,
                                           spec.metrics)
                 payload.update({"recipe": recipe, "title": spec.title,
@@ -243,10 +286,60 @@ class _Handler(BaseHTTPRequestHandler):
         if fmt == "markdown":
             self._send_markdown(query_table(
                 groups, group_by, metrics, title="report", markdown=True))
+        elif fmt == "csv":
+            self._send_csv(query_csv(groups, group_by, metrics))
         else:
             payload = _groups_payload(groups, group_by, metrics)
             payload["run"] = run
             self._send_json(payload)
+
+    def _handle_progress(self, params, fmt) -> None:
+        # Deliberate local import: repro.obs.progress imports the
+        # heartbeat module from this package, so a module-level import
+        # here would bite its own tail during ``import repro.obs``.
+        from ..obs.progress import fabric_section
+
+        run = _one(params, "run")
+        with self._store() as store:
+            resolved = run if run is not None else store.latest_run_id()
+            count = (store.trial_count(resolved)
+                     if resolved is not None else 0)
+            telemetry = (store.telemetry_snapshots(resolved)
+                         if resolved is not None else [])
+        delta = (self.server.progress.update(resolved, count)
+                 if resolved is not None else None)
+        plan_dir = _one(params, "plan_dir") or self.server.plan_dir
+        if not plan_dir:
+            # Fabric coordinators keep their working files next to the
+            # store by default; pick that up without configuration.
+            candidate = self.server.store_path + ".fabric"
+            plan_dir = candidate if os.path.isdir(candidate) else None
+        self._send_json({
+            "store": self.server.store_path,
+            "run": resolved,
+            "trials": count,
+            "delta": delta,
+            "fabric": fabric_section(plan_dir),
+            "telemetry": telemetry[-1] if telemetry else None,
+        })
+
+    def _handle_metrics(self, params, fmt) -> None:
+        # Always Prometheus text, never negotiated — scrapers send
+        # Accept headers of their own.  Store totals are refreshed as
+        # gauges at scrape time so even an otherwise-idle process
+        # exposes live numbers.
+        try:
+            with self._store() as store:
+                runs = store.runs()
+            TELEMETRY.gauge("store.runs").set(len(runs))
+            TELEMETRY.gauge("store.trials").set(
+                sum(r.trials for r in runs))
+        except OSError:
+            pass  # the registry is still worth exposing
+        # _send appends "; charset=utf-8", completing the official
+        # exposition content type.
+        self._send(200, render_prometheus(TELEMETRY),
+                   "text/plain; version=0.0.4")
 
     def _handle_compare(self, params, fmt) -> None:
         runs = _csv(params, "runs") or []
@@ -294,12 +387,23 @@ class ResultService:
     """
 
     def __init__(self, store_path: str, host: str = "127.0.0.1",
-                 port: int = 0, quiet: bool = True):
+                 port: int = 0, quiet: bool = True,
+                 plan_dir: Optional[str] = None):
+        # Deliberate local import (see _handle_progress).
+        from ..obs.progress import ProgressTracker
+
         # Fail fast on a missing store, before binding a socket.
         ResultStore(store_path, create=False).close()
         self._server = ThreadingHTTPServer((host, port), _Handler)
         self._server.store_path = store_path
         self._server.quiet = quiet
+        # ``/progress`` deltas need server-side memory: the trials
+        # table stores no timestamps, so rates come from two counts
+        # observed by this process.
+        self._server.progress = ProgressTracker()
+        # Explicit plan dir for heartbeat fan-in; None falls back to
+        # ``<store>.fabric`` (the coordinator's default) per request.
+        self._server.plan_dir = plan_dir
         self._thread: Optional[threading.Thread] = None
 
     @property

@@ -31,6 +31,7 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from ..obs.registry import TELEMETRY
 from .heartbeat import Heartbeat, write_heartbeat
 from .plan import ShardTask
 
@@ -56,12 +57,21 @@ def run_shard(task: ShardTask, progress=None) -> Dict[str, int]:
         claimed = set(sink.completed())  # claim-by-key: skip stored work
         counts = {"completed": sum(1 for s in specs if s.key() in claimed),
                   "written": 0}
+        # Telemetry folded into the heartbeat payload: fresh-trial
+        # throughput since the worker started and the latest commit
+        # latency.  Measured unconditionally — the heartbeat is the
+        # fabric's progress channel regardless of the obs registry.
+        t_start = time.perf_counter()
+        rates: Dict[str, Optional[float]] = {"trials_per_s": None,
+                                             "commit_s": None}
 
         def beat(status: str, error: Optional[str] = None) -> None:
             write_heartbeat(task.heartbeat_path, Heartbeat(
                 shard=task.index, pid=os.getpid(),
                 completed=counts["completed"], total=total,
                 status=status, updated_at=time.time(), error=error,
+                trials_per_s=rates["trials_per_s"],
+                commit_s=rates["commit_s"],
             ))
 
         # A timer thread keeps the heartbeat fresh through trials that
@@ -81,10 +91,24 @@ def run_shard(task: ShardTask, progress=None) -> Dict[str, int]:
                 key = spec.key()
                 if key in claimed:
                     continue
+                trial_t0 = time.perf_counter()
                 result = spec.run()
+                commit_t0 = time.perf_counter()
                 sink.write(key, spec, result)
+                commit_t1 = time.perf_counter()
                 counts["completed"] += 1
                 counts["written"] += 1
+                rates["commit_s"] = round(commit_t1 - commit_t0, 6)
+                elapsed = commit_t1 - t_start
+                if elapsed > 0:
+                    rates["trials_per_s"] = round(
+                        counts["written"] / elapsed, 3)
+                if TELEMETRY.enabled:
+                    TELEMETRY.counter("fabric.trials").inc()
+                    TELEMETRY.histogram("fabric.trial_wall_s").observe(
+                        commit_t0 - trial_t0)
+                    TELEMETRY.histogram("fabric.commit_s").observe(
+                        commit_t1 - commit_t0)
                 beat("running")
                 if progress is not None:
                     progress(spec, result)
@@ -105,20 +129,39 @@ def run_shard(task: ShardTask, progress=None) -> Dict[str, int]:
         sink.close()
 
 
-def run_worker_file(shard_file: str, quiet: bool = False) -> int:
-    """CLI/process entry: run the shard described by ``shard_file``."""
+def run_worker_file(shard_file: str, quiet: bool = False,
+                    profile: Optional[str] = None) -> int:
+    """CLI/process entry: run the shard described by ``shard_file``.
+
+    ``profile`` enables cProfile around the whole shard; the .pstats
+    dump lands at ``<profile>.shard-<index>.pstats`` so a multi-worker
+    fabric run yields one distinguishable profile per worker.
+    """
     try:
         task = ShardTask.read(shard_file)
     except (OSError, ValueError, KeyError, TypeError) as exc:
         print(f"cannot read shard file {shard_file!r}: {exc}",
               file=sys.stderr)
         return 2
+    profiler = None
+    if profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         summary = run_shard(task)
     except Exception as exc:
         print(f"shard {task.index} failed: {type(exc).__name__}: {exc}",
               file=sys.stderr)
         return 1
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            dump = f"{profile}.shard-{task.index}.pstats"
+            profiler.dump_stats(dump)
+            if not quiet:
+                print(f"profile written to {dump}", file=sys.stderr)
     if not quiet:
         print(f"shard {task.index}: {summary['written']} executed, "
               f"{summary['completed'] - summary['written']} resumed, "
@@ -135,8 +178,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "or `repro fabric plan`")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the completion summary line")
+    parser.add_argument("--profile", metavar="PATH",
+                        help="cProfile the shard; dump to "
+                             "PATH.shard-<index>.pstats")
     args = parser.parse_args(argv)
-    return run_worker_file(args.shard_file, quiet=args.quiet)
+    return run_worker_file(args.shard_file, quiet=args.quiet,
+                           profile=args.profile)
 
 
 if __name__ == "__main__":  # pragma: no cover - subprocess entry

@@ -1,0 +1,113 @@
+"""repro.obs — the telemetry spine: counters, spans, live progress.
+
+One process-local registry (:data:`TELEMETRY`), off by default, with a
+near-free disabled path so the engines' hot loops can stay
+instrumented permanently:
+
+* **Counters / gauges / histograms** — fixed handles, allocation-free
+  updates, one ``enabled`` branch per event batch at the call sites
+  (:mod:`repro.obs.registry`).
+* **Spans** — ``with obs.span("engine.run_steps", n=k):`` records wall
+  time plus step/activation/materialize counts to a bounded ring
+  buffer, exportable as JSONL (:mod:`repro.obs.spans`).
+* **Prometheus exposition** — :func:`render_prometheus` serves the
+  registry at ``/metrics`` in text format 0.0.4
+  (:mod:`repro.obs.prom`).
+* **Live progress** — heartbeat fan-in and store deltas behind
+  ``/progress`` and ``repro top`` (:mod:`repro.obs.progress`,
+  :mod:`repro.obs.top`).
+
+Quickstart::
+
+    from repro import obs
+
+    obs.enable()                      # or REPRO_OBS=1 in the environment
+    obs.counter("demo.events").inc(3)
+    with obs.span("demo.work", n=10):
+        pass
+    text = obs.render_prometheus()    # what /metrics serves
+    obs.disable(); obs.reset()
+
+Telemetry never reads or writes simulation state or RNG streams, so
+traces are byte-identical with the registry on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .prom import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from .prom import render_prometheus as _render
+from .registry import (
+    DEFAULT_BUCKETS,
+    TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Telemetry,
+)
+from .spans import NULL_SPAN, Span, SpanTracer
+
+__all__ = [
+    "TELEMETRY", "Telemetry", "Counter", "Gauge", "Histogram",
+    "Span", "SpanTracer", "NULL_SPAN", "DEFAULT_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "enable", "disable", "enabled", "reset",
+    "counter", "gauge", "histogram", "span", "spans",
+    "export_spans_jsonl", "snapshot", "render_prometheus",
+]
+
+
+# ----------------------------------------------------------------------
+# Module-level convenience API over the singleton
+# ----------------------------------------------------------------------
+def enable() -> Telemetry:
+    """Switch the process registry on (idempotent)."""
+    return TELEMETRY.enable()
+
+
+def disable() -> Telemetry:
+    """Switch the process registry off (instrument values persist)."""
+    return TELEMETRY.disable()
+
+
+def enabled() -> bool:
+    """Whether the process registry is currently recording."""
+    return TELEMETRY.enabled
+
+
+def reset() -> None:
+    """Drop every instrument and span record."""
+    TELEMETRY.reset()
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    return TELEMETRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    return TELEMETRY.gauge(name, **labels)
+
+
+def histogram(name: str, buckets=None, **labels: Any) -> Histogram:
+    return TELEMETRY.histogram(name, buckets=buckets, **labels)
+
+
+def span(name: str, **fields: Any):
+    return TELEMETRY.span(name, **fields)
+
+
+def spans() -> List[Dict[str, Any]]:
+    return TELEMETRY.spans()
+
+
+def export_spans_jsonl(path: str) -> int:
+    return TELEMETRY.export_spans_jsonl(path)
+
+
+def snapshot() -> Dict[str, Any]:
+    return TELEMETRY.snapshot()
+
+
+def render_prometheus() -> str:
+    return _render(TELEMETRY)

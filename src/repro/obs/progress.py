@@ -1,0 +1,159 @@
+"""Live-progress assembly: store deltas plus heartbeat fan-in.
+
+The pieces ``/progress`` (``repro serve``) and ``repro top`` share:
+
+* :func:`read_heartbeats` / :func:`heartbeat_rows` — scan a fabric
+  plan dir for ``heartbeat-*.json`` files and fold each into one
+  JSON-clean row (shard, pid, completed/total, status, age, rate);
+* :func:`fabric_summary` — aggregate those rows into the dashboard
+  numbers (workers alive, trials/s, ETA, stall count);
+* :class:`ProgressTracker` — remembers the last observed trial count
+  per run so successive polls report *deltas* and a poll-window rate
+  (the store keeps no per-trial timestamps; the tracker turns two
+  monotone counts into a rate);
+* :func:`fetch_progress` — a stdlib HTTP GET of a running service's
+  ``/progress`` endpoint, for ``repro top <url>``.
+
+Heartbeat reading is tolerant the same way the coordinator is: a
+missing or torn file is simply not a row.  A worker whose heartbeat is
+older than the stall timeout is flagged ``stalled`` but still listed —
+exactly the evidence ``repro top`` exists to surface.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import threading
+import time
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from ..fabric.heartbeat import Heartbeat, read_heartbeat
+
+#: heartbeats older than this read as stalled (mirrors the
+#: coordinator's default ``heartbeat_timeout_s``).
+DEFAULT_STALL_TIMEOUT_S = 10.0
+
+
+def read_heartbeats(plan_dir: str) -> List[Heartbeat]:
+    """Every parseable ``heartbeat-*.json`` under ``plan_dir``,
+    ordered by shard index."""
+    beats = []
+    for path in sorted(glob.glob(os.path.join(plan_dir, "heartbeat-*.json"))):
+        hb = read_heartbeat(path)
+        if hb is not None:
+            beats.append(hb)
+    return sorted(beats, key=lambda hb: hb.shard)
+
+
+def heartbeat_rows(
+    heartbeats: List[Heartbeat],
+    now: Optional[float] = None,
+    stall_timeout_s: float = DEFAULT_STALL_TIMEOUT_S,
+) -> List[Dict[str, Any]]:
+    """Heartbeats as JSON-clean dashboard rows (age + stall flag added).
+
+    A finished worker ("done"/"failed") is never stalled — its
+    heartbeat legitimately stops aging forward.
+    """
+    now = time.time() if now is None else now
+    rows = []
+    for hb in heartbeats:
+        age = hb.age_s(now)
+        rows.append({
+            "shard": hb.shard,
+            "pid": hb.pid,
+            "completed": hb.completed,
+            "total": hb.total,
+            "status": hb.status,
+            "age_s": round(age, 3),
+            "stalled": hb.status == "running" and age > stall_timeout_s,
+            "trials_per_s": hb.trials_per_s,
+            "commit_s": hb.commit_s,
+            "error": hb.error,
+        })
+    return rows
+
+
+def fabric_summary(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate worker rows into the one-line campaign picture."""
+    completed = sum(r["completed"] for r in rows)
+    total = sum(r["total"] for r in rows)
+    running = [r for r in rows if r["status"] == "running"]
+    rate = sum(r["trials_per_s"] or 0.0 for r in running)
+    remaining = max(0, total - completed)
+    eta_s: Optional[float] = None
+    if remaining == 0:
+        eta_s = 0.0
+    elif rate > 0:
+        eta_s = remaining / rate
+    return {
+        "workers": len(rows),
+        "running": len(running),
+        "done": sum(1 for r in rows if r["status"] == "done"),
+        "failed": sum(1 for r in rows if r["status"] == "failed"),
+        "stalled": sum(1 for r in rows if r["stalled"]),
+        "completed": completed,
+        "total": total,
+        "trials_per_s": round(rate, 3),
+        "eta_s": None if eta_s is None else round(eta_s, 1),
+    }
+
+
+def fabric_section(
+    plan_dir: Optional[str],
+    stall_timeout_s: float = DEFAULT_STALL_TIMEOUT_S,
+    now: Optional[float] = None,
+) -> Optional[Dict[str, Any]]:
+    """The ``fabric`` block of a ``/progress`` payload, or None when
+    there is no plan dir (or no heartbeats yet)."""
+    if not plan_dir or not os.path.isdir(plan_dir):
+        return None
+    rows = heartbeat_rows(read_heartbeats(plan_dir), now=now,
+                          stall_timeout_s=stall_timeout_s)
+    if not rows:
+        return None
+    return {
+        "plan_dir": os.path.abspath(plan_dir),
+        "workers": rows,
+        "summary": fabric_summary(rows),
+    }
+
+
+class ProgressTracker:
+    """Turns successive trial counts into deltas and a window rate.
+
+    Thread-safe (the HTTP service polls from handler threads).  The
+    first observation of a run has no window, so its delta is the full
+    count and the rate is None.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._last: Dict[str, Any] = {}
+
+    def update(self, run_id: str, count: int,
+               now: Optional[float] = None) -> Dict[str, Any]:
+        now = time.time() if now is None else now
+        with self._lock:
+            prev = self._last.get(run_id)
+            self._last[run_id] = (count, now)
+        if prev is None:
+            return {"trials": count, "interval_s": None, "trials_per_s": None}
+        prev_count, prev_t = prev
+        interval = now - prev_t
+        delta = count - prev_count
+        rate = round(delta / interval, 3) if interval > 0 else None
+        return {"trials": delta, "interval_s": round(interval, 3),
+                "trials_per_s": rate}
+
+
+def fetch_progress(url: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """GET a service's ``/progress`` (``url`` may be the service root)."""
+    url = url.rstrip("/")
+    if not url.endswith("/progress"):
+        url = url + "/progress"
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))

@@ -1,0 +1,96 @@
+"""Prometheus text exposition (format version 0.0.4) of the registry.
+
+One function, :func:`render_prometheus`, turns a
+:class:`~repro.obs.registry.Telemetry` into the plain-text format a
+Prometheus scraper (or ``curl``) expects::
+
+    # TYPE repro_sim_steps_total counter
+    repro_sim_steps_total 1234
+    # TYPE repro_trial_wall_s histogram
+    repro_trial_wall_s_bucket{le="0.001"} 3
+    ...
+    repro_trial_wall_s_bucket{le="+Inf"} 9
+    repro_trial_wall_s_sum 0.412
+    repro_trial_wall_s_count 9
+
+Metric names are sanitized (``.`` and anything non-alphanumeric
+becomes ``_``) and prefixed ``repro_``; counters gain the conventional
+``_total`` suffix.  Served by ``repro serve`` at ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Tuple
+
+from .registry import Telemetry
+
+#: MIME type of exposition format 0.0.4 (what /metrics serves).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str) -> str:
+    """``engine.run_steps`` -> ``repro_engine_run_steps``."""
+    flat = _SANITIZE.sub("_", name).strip("_")
+    return f"repro_{flat}"
+
+
+def _render_labels(labels: Iterable[Tuple[str, str]],
+                   extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(k, str(v).replace("\\", r"\\").replace('"', r"\""))
+        for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(telemetry: Telemetry) -> str:
+    """The full registry in exposition format 0.0.4 (trailing newline)."""
+    counters, gauges, histograms = telemetry.instruments()
+    lines: List[str] = []
+    typed: set = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for c in sorted(counters, key=lambda i: (i.name, i.labels)):
+        name = metric_name(c.name)
+        if not name.endswith("_total"):
+            name += "_total"
+        header(name, "counter")
+        lines.append(f"{name}{_render_labels(c.labels)} {_fmt_value(c.value)}")
+
+    for g in sorted(gauges, key=lambda i: (i.name, i.labels)):
+        name = metric_name(g.name)
+        header(name, "gauge")
+        lines.append(f"{name}{_render_labels(g.labels)} {_fmt_value(g.value)}")
+
+    for h in sorted(histograms, key=lambda i: (i.name, i.labels)):
+        name = metric_name(h.name)
+        header(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(h.buckets, h.counts):
+            cumulative += count
+            le = _render_labels(h.labels, (("le", _fmt_value(float(bound))),))
+            lines.append(f"{name}_bucket{le} {cumulative}")
+        cumulative += h.counts[-1]
+        le = _render_labels(h.labels, (("le", "+Inf"),))
+        lines.append(f"{name}_bucket{le} {cumulative}")
+        lab = _render_labels(h.labels)
+        lines.append(f"{name}_sum{lab} {repr(h.sum)}")
+        lines.append(f"{name}_count{lab} {h.count}")
+
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,252 @@
+"""Process-local telemetry registry: counters, gauges, histograms.
+
+One :class:`Telemetry` instance (the module singleton ``TELEMETRY``)
+holds every instrument the process creates.  The registry is **off by
+default** and the contract with the hot loops is strict:
+
+* instrument handles are plain objects fetched once (at ``__init__``
+  time in the engines) — ``inc``/``set``/``observe`` never allocate;
+* call sites guard recording behind a single attribute read
+  (``if TELEMETRY.enabled:``), so a disabled registry costs one branch
+  per *event batch* (a fused span, a flush), not per step;
+* recording never touches simulation state or RNG streams — traces
+  are byte-identical with telemetry on or off (regression-tested).
+
+Enable programmatically (:func:`Telemetry.enable`) or for a whole
+process tree with ``REPRO_OBS=1`` in the environment (fabric workers
+inherit it).  Instruments accept optional labels::
+
+    TELEMETRY.counter("fabric.requeues").inc()
+    TELEMETRY.gauge("engine.enabled_set").set(17)
+    TELEMETRY.histogram("trial.wall_s").observe(0.042)
+    TELEMETRY.counter("service.requests", endpoint="/query").inc()
+
+Snapshots (:meth:`Telemetry.snapshot`) are JSON-clean dicts; the
+Prometheus text exposition lives in :mod:`repro.obs.prom`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: default histogram bucket upper bounds (seconds-flavored, fixed).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotone counter.  ``inc`` is allocation-free."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value.  ``set``/``inc`` are allocation-free."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative counts at exposition time).
+
+    Buckets are upper bounds fixed at construction; ``observe`` is a
+    bisect plus two scalar updates — no allocation, no resizing.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, labels: _LabelKey = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        # one slot per bound plus the +Inf overflow slot
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class Telemetry:
+    """The process-local instrument registry (see module docs).
+
+    ``enabled`` is a plain attribute — reading it is the entire cost of
+    the disabled path at a call site.  Instrument creation is
+    thread-safe and idempotent: the same (kind, name, labels) triple
+    always returns the same object, so handles can be fetched eagerly
+    and shared.
+    """
+
+    def __init__(self, enabled: bool = False, span_capacity: int = 4096):
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, _LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, _LabelKey], Histogram] = {}
+        from .spans import SpanTracer  # local import: spans need no registry
+
+        self.tracer = SpanTracer(capacity=span_capacity)
+
+    # ------------------------------------------------------------------
+    # Switches
+    # ------------------------------------------------------------------
+    def enable(self) -> "Telemetry":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Telemetry":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        """Drop every instrument and span record (tests, fresh runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+        self.tracer.clear()
+
+    # ------------------------------------------------------------------
+    # Instruments (get-or-create; stable handles)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            with self._lock:
+                inst = self._counters.setdefault(key, Counter(*key))
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            with self._lock:
+                inst = self._gauges.setdefault(key, Gauge(*key))
+        return inst
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: Any) -> Histogram:
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            with self._lock:
+                inst = self._histograms.setdefault(
+                    key, Histogram(*key, buckets=buckets or DEFAULT_BUCKETS)
+                )
+        return inst
+
+    # ------------------------------------------------------------------
+    # Spans (delegates to the tracer; null span when disabled)
+    # ------------------------------------------------------------------
+    def span(self, name: str, **fields: Any):
+        """A context manager timing one named operation.
+
+        Disabled registries hand back a shared no-op span — no
+        allocation, no clock reads — so ``with obs.span(...):`` is safe
+        on warm paths.
+        """
+        if not self.enabled:
+            from .spans import NULL_SPAN
+
+            return NULL_SPAN
+        return self.tracer.start(name, fields)
+
+    def record_span(self, name: str, wall_s: float, **fields: Any) -> None:
+        """Record an already-timed span (no-op while disabled)."""
+        if self.enabled:
+            self.tracer.add(name, wall_s, **fields)
+
+    def spans(self) -> List[Dict[str, Any]]:
+        """Completed span records, oldest first (bounded ring)."""
+        return self.tracer.records()
+
+    def export_spans_jsonl(self, path: str) -> int:
+        """Append every buffered span record to ``path`` as JSON lines;
+        returns the number written."""
+        return self.tracer.export_jsonl(path)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-clean dump of every instrument (labels folded into
+        the key as ``name{k=v,...}``)."""
+
+        def keyed(name: str, labels: _LabelKey) -> str:
+            if not labels:
+                return name
+            inner = ",".join(f"{k}={v}" for k, v in labels)
+            return f"{name}{{{inner}}}"
+
+        with self._lock:
+            counters = {keyed(c.name, c.labels): c.value
+                        for c in self._counters.values()}
+            gauges = {keyed(g.name, g.labels): g.value
+                      for g in self._gauges.values()}
+            histograms = {
+                keyed(h.name, h.labels): {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for h in self._histograms.values()
+            }
+        return {
+            "enabled": self.enabled,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def instruments(self):
+        """(counters, gauges, histograms) lists — exposition helper."""
+        with self._lock:
+            return (list(self._counters.values()),
+                    list(self._gauges.values()),
+                    list(self._histograms.values()))
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "").strip() not in ("", "0", "false")
+
+
+#: the module-level singleton every layer shares.
+TELEMETRY = Telemetry(enabled=_env_enabled())

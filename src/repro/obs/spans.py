@@ -1,0 +1,115 @@
+"""Span tracer: wall-time records for named operations.
+
+A span is one timed region — ``with obs.span("engine.run_steps",
+n=10_000):`` — whose record lands in a bounded ring buffer when the
+block exits: name, start timestamp, wall seconds, plus any fields
+attached at entry or via :meth:`Span.note` (step counts, activation
+totals, materialize events).  The ring is a ``deque(maxlen=...)`` so a
+long campaign keeps the most recent spans and never grows without
+bound; :meth:`SpanTracer.export_jsonl` appends the buffer to a JSONL
+file for offline inspection.
+
+When the registry is disabled, :meth:`Telemetry.span
+<repro.obs.registry.Telemetry.span>` returns the shared ``NULL_SPAN``
+— a singleton whose enter/exit/note do nothing — so instrumented code
+pays no allocation and no clock read.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List
+
+
+class Span:
+    """One in-flight timed region (created by :meth:`SpanTracer.start`)."""
+
+    __slots__ = ("name", "fields", "_tracer", "_t0", "wall_s")
+
+    def __init__(self, tracer: "SpanTracer", name: str,
+                 fields: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.fields = fields
+        self._t0 = 0.0
+        self.wall_s = 0.0
+
+    def note(self, **fields: Any) -> "Span":
+        """Attach (or overwrite) fields mid-span."""
+        self.fields.update(fields)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.wall_s = time.perf_counter() - self._t0
+        self._tracer._record(self)
+
+
+class _NullSpan:
+    """The shared disabled-path span: every method is a no-op."""
+
+    __slots__ = ()
+
+    def note(self, **fields: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+#: singleton handed out whenever the registry is disabled.
+NULL_SPAN = _NullSpan()
+
+
+class SpanTracer:
+    """Bounded ring buffer of completed span records."""
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = int(capacity)
+        self._ring: deque = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    def start(self, name: str, fields: Dict[str, Any]) -> Span:
+        return Span(self, name, fields)
+
+    def add(self, name: str, wall_s: float, **fields: Any) -> None:
+        """Record an already-timed span (hot loops time themselves and
+        report once at the span boundary)."""
+        rec = {"name": name, "t": time.time(), "wall_s": wall_s}
+        if fields:
+            rec.update(fields)
+        with self._lock:
+            self._ring.append(rec)
+
+    def _record(self, span: Span) -> None:
+        rec = {"name": span.name, "t": time.time(),
+               "wall_s": span.wall_s}
+        if span.fields:
+            rec.update(span.fields)
+        with self._lock:
+            self._ring.append(rec)
+
+    def records(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [dict(r) for r in self._ring]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def export_jsonl(self, path: str) -> int:
+        """Append every buffered record to ``path``; returns the count."""
+        records = self.records()
+        with open(path, "a", encoding="utf-8") as fh:
+            for rec in records:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        return len(records)

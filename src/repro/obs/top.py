@@ -1,0 +1,142 @@
+"""``repro top`` — a refreshing one-screen view of a running campaign.
+
+Point it at either side of the fabric:
+
+* a **plan dir** (the ``<store>.fabric`` workdir, or a ``repro fabric
+  plan`` output dir) — frames are built straight from the heartbeat
+  files, no service required;
+* a **service URL** (a running ``repro serve``) — frames come from its
+  ``/progress`` endpoint, which adds store-side trial deltas.
+
+Each frame is one screen: the campaign headline (trials done/total,
+aggregate trials/s, ETA), one row per worker (shard, pid, progress,
+status, heartbeat age, rate), and the stall count.  ``--once`` prints
+a single frame and exits — that is also what the tests and the CI
+smoke lane drive.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from .progress import (
+    DEFAULT_STALL_TIMEOUT_S,
+    fabric_section,
+    fetch_progress,
+)
+
+#: ANSI "clear screen, home cursor" used between live frames.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_eta(eta_s: Optional[float]) -> str:
+    if eta_s is None:
+        return "?"
+    if eta_s >= 3600:
+        return f"{eta_s / 3600:.1f}h"
+    if eta_s >= 60:
+        return f"{eta_s / 60:.1f}m"
+    return f"{eta_s:.1f}s"
+
+
+def render_top(progress: Dict[str, Any], source: str = "") -> str:
+    """One dashboard frame from a ``/progress``-shaped payload."""
+    lines: List[str] = []
+    title = "repro top"
+    if source:
+        title += f" — {source}"
+    lines.append(title)
+
+    run = progress.get("run")
+    trials = progress.get("trials")
+    if run is not None and trials is not None:
+        head = f"run {run!r}: {trials} trials in store"
+        delta = progress.get("delta") or {}
+        if delta.get("trials_per_s") is not None:
+            head += (f"  (+{delta['trials']} in {delta['interval_s']}s, "
+                     f"{delta['trials_per_s']}/s)")
+        lines.append(head)
+
+    fabric = progress.get("fabric")
+    if not fabric:
+        lines.append("no live fabric heartbeats")
+        return "\n".join(lines) + "\n"
+
+    s = fabric["summary"]
+    pct = (100.0 * s["completed"] / s["total"]) if s["total"] else 100.0
+    lines.append(
+        f"fabric: {s['completed']}/{s['total']} trials ({pct:.0f}%)  "
+        f"rate {s['trials_per_s']}/s  eta {_fmt_eta(s['eta_s'])}"
+    )
+    lines.append(
+        f"workers: {s['workers']} ({s['running']} running, {s['done']} done, "
+        f"{s['failed']} failed)  stalls: {s['stalled']}"
+    )
+    header = (f"  {'shard':>5}  {'pid':>7}  {'progress':>10}  "
+              f"{'status':<8}  {'age':>6}  {'trials/s':>8}")
+    lines.append(header)
+    for row in fabric["workers"]:
+        rate = row.get("trials_per_s")
+        mark = " STALLED" if row.get("stalled") else ""
+        lines.append(
+            f"  {row['shard']:>5}  {row['pid']:>7}  "
+            f"{row['completed']}/{row['total']:<4}".ljust(30)[:30]
+            + f"  {row['status']:<8}  {row['age_s']:>5.1f}s  "
+            + (f"{rate:>8.2f}" if rate is not None else f"{'-':>8}")
+            + mark
+        )
+        if row.get("error"):
+            lines.append(f"         error: {row['error']}")
+    return "\n".join(lines) + "\n"
+
+
+def top_frame(
+    target: str,
+    stall_timeout_s: float = DEFAULT_STALL_TIMEOUT_S,
+) -> Dict[str, Any]:
+    """One ``/progress``-shaped payload from a plan dir or service URL."""
+    if target.startswith(("http://", "https://")):
+        return fetch_progress(target)
+    section = fabric_section(target, stall_timeout_s=stall_timeout_s)
+    return {"run": None, "trials": None, "delta": None, "fabric": section}
+
+
+def run_top(
+    target: str,
+    interval_s: float = 2.0,
+    iterations: Optional[int] = None,
+    clear: bool = True,
+    stall_timeout_s: float = DEFAULT_STALL_TIMEOUT_S,
+    out=None,
+) -> int:
+    """Drive the dashboard loop (``iterations=None`` → until Ctrl-C).
+
+    Returns 0 normally; 1 when the target never produced a frame
+    (bad dir / unreachable service on the first poll).
+    """
+    out = sys.stdout if out is None else out
+    shown = 0
+    try:
+        while iterations is None or shown < iterations:
+            try:
+                frame = top_frame(target, stall_timeout_s=stall_timeout_s)
+            except OSError as exc:
+                if shown == 0:
+                    print(f"repro top: cannot reach {target!r}: {exc}",
+                          file=sys.stderr)
+                    return 1
+                raise
+            text = render_top(frame, source=target)
+            if clear and shown:
+                out.write(_CLEAR)
+            out.write(text)
+            out.flush()
+            shown += 1
+            if iterations is not None and shown >= iterations:
+                break
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0

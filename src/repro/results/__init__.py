@@ -28,6 +28,8 @@ from .report import (
     ReportRecipe,
     campaign_summary_rows,
     campaign_summary_table,
+    csv_text,
+    query_csv,
     query_table,
     recipe_rows,
     recipe_table,
@@ -65,6 +67,7 @@ __all__ = [
     "campaign_summary_rows",
     "campaign_summary_table",
     "coerce_scalar",
+    "csv_text",
     "diff_bench",
     "diff_runs",
     "diff_runs_detailed",
@@ -73,6 +76,7 @@ __all__ = [
     "make_sink",
     "missing_groups",
     "parse_where",
+    "query_csv",
     "query_table",
     "recipe_rows",
     "recipe_table",

@@ -17,10 +17,18 @@ Three renderers:
   from :data:`REPORT_RECIPES`, so ``repro report --recipe
   paper-overhead`` and ``GET /report?recipe=paper-overhead`` render
   the paper's §5-style claims straight from a store with one name.
+
+Plus the machine-readable sibling: :func:`query_csv` renders the same
+grouped statistics as RFC-4180 CSV at full float precision — the
+single implementation behind ``repro query --csv`` and the service's
+``?format=csv`` (tables round for eyes; CSV must not round for
+spreadsheets).
 """
 
 from __future__ import annotations
 
+import csv
+import io
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -108,6 +116,42 @@ def query_table(
         rows.append(row)
     return format_table(headers, rows, title=title, markdown=markdown,
                         precision=precision)
+
+
+def csv_text(headers: Sequence[Any], rows: Iterable[Sequence[Any]]) -> str:
+    """Headers + rows as CSV text (proper quoting via :mod:`csv`).
+
+    Values render at full precision — this is the machine-readable
+    surface, so nothing is rounded; ``None`` cells become empty.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(["" if cell is None else cell for cell in row])
+    return buf.getvalue()
+
+
+def query_csv(
+    groups: Sequence[GroupStats],
+    group_by: Sequence[str],
+    metrics: Sequence[str],
+) -> str:
+    """Grouped statistics as CSV — the column layout of
+    :func:`query_table` (axes, trial count, mean/ci95/median per
+    metric) with underscore headers and unrounded values."""
+    headers = list(group_by) + ["trials"]
+    for metric in metrics:
+        headers += [f"{metric}_mean", f"{metric}_ci95", f"{metric}_median"]
+    rows: List[List[Any]] = []
+    for g in groups:
+        row: List[Any] = [g.group.get(col) for col in group_by]
+        row.append(g.count)
+        for metric in metrics:
+            agg = g.aggregates[metric]
+            row += [agg.mean, agg.ci95, agg.median]
+        rows.append(row)
+    return csv_text(headers, rows)
 
 
 # ----------------------------------------------------------------------

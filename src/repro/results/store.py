@@ -118,6 +118,14 @@ CREATE TABLE IF NOT EXISTS bench (
     git_rev     TEXT,
     payload     TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS telemetry (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id      TEXT NOT NULL,
+    source      TEXT NOT NULL,
+    recorded_at TEXT NOT NULL,
+    payload     TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS telemetry_by_run ON telemetry (run_id, id);
 """
 
 
@@ -633,6 +641,8 @@ class ResultStore:
         run_id = self._resolve_run(run_id)
         count = self.trial_count(run_id)
         self._conn.execute("DELETE FROM trials WHERE run_id = ?", (run_id,))
+        self._conn.execute("DELETE FROM telemetry WHERE run_id = ?",
+                           (run_id,))
         self._conn.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
         self._conn.commit()
         return count
@@ -669,6 +679,45 @@ class ResultStore:
         if dropped and vacuum:
             self.vacuum()
         return dropped
+
+    # ------------------------------------------------------------------
+    # Telemetry snapshots
+    # ------------------------------------------------------------------
+    def record_telemetry(self, run_id: str, payload: Mapping[str, Any],
+                         source: str = "campaign") -> None:
+        """Append one campaign-level telemetry snapshot to a run.
+
+        Snapshots land *next to* the trials they describe — throughput,
+        requeue/stall counts, wall time — so a store is enough to
+        reconstruct how a campaign ran, not just what it measured.
+        ``source`` names the layer that took the snapshot ("campaign",
+        "fabric", ...).
+        """
+        self._conn.execute(
+            "INSERT INTO telemetry (run_id, source, recorded_at, payload) "
+            "VALUES (?, ?, ?, ?)",
+            (run_id, source, _now_iso(),
+             json.dumps(dict(payload), sort_keys=True)),
+        )
+        self._conn.commit()
+
+    def telemetry_snapshots(
+        self, run_id: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """A run's telemetry snapshots, oldest first.
+
+        Each row: ``{source, recorded_at, payload}`` with the payload
+        already decoded.
+        """
+        run_id = self._resolve_run(run_id)
+        return [
+            {"source": source, "recorded_at": stamp,
+             "payload": json.loads(blob)}
+            for source, stamp, blob in self._conn.execute(
+                "SELECT source, recorded_at, payload FROM telemetry "
+                "WHERE run_id = ? ORDER BY id", (run_id,),
+            )
+        ]
 
     # ------------------------------------------------------------------
     # Benchmark trajectories
